@@ -1,0 +1,65 @@
+// Reproduces Table 3: cross-domain intra-type adaptation on ACE-2005 —
+// BC→UN, BN→CTS and NW→WL, 5-way 1-shot and 5-shot, ten methods.
+//
+//   ./build/bench/table3_cross_domain [--adaptations BC:UN,BN:CTS,NW:WL] ...
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "eval/reporting.h"
+
+using namespace fewner;  // NOLINT: bench brevity
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  bench::AddCommonFlags(&flags);
+  flags.AddString("shots", "1", "comma list of K values (paper: 1,5)");
+  flags.AddString("methods", "FineTune,ProtoNet,MAML,SNAIL,FewNER",
+                  "methods to run (paper adds the frozen-LM group: pass "
+                  "--methods all)");
+  flags.AddString("adaptations", "BC:UN,BN:CTS",
+                  "comma list of source:target ACE-2005 domain pairs (paper adds NW:WL)");
+  if (!bench::ParseOrDie(&flags, argc, argv)) return 0;
+
+  const auto methods = bench::ParseMethods(flags.GetString("methods"));
+  const auto shots = bench::ParseShots(flags.GetString("shots"));
+
+  std::map<std::string, std::map<std::string, std::string>> cells;
+  std::vector<std::string> columns;
+
+  for (const std::string& pair : util::Split(flags.GetString("adaptations"), ',')) {
+    const auto parts = util::Split(pair, ':');
+    FEWNER_CHECK(parts.size() == 2, "adaptation '" << pair << "' must be SRC:TGT");
+    for (int64_t k : shots) {
+      const std::string column =
+          parts[0] + "->" + parts[1] + " " + std::to_string(k) + "-shot";
+      columns.push_back(column);
+      eval::ExperimentConfig config = bench::ConfigFromFlags(flags);
+      config.k_shot = k;
+      eval::Scenario scenario = eval::MakeCrossDomainIntraType(
+          parts[0], parts[1], config.data_scale, config.seed);
+      eval::ExperimentRunner runner(std::move(scenario), config);
+      for (eval::MethodId id : methods) {
+        eval::EvalResult result = runner.Run(id);
+        cells[eval::MethodName(id)][column] = eval::FormatCell(result.f1);
+        std::cout << "[" << column << "] " << eval::MethodName(id) << ": "
+                  << eval::FormatCell(result.f1) << std::endl;
+      }
+    }
+  }
+
+  std::vector<std::string> headers = {"Methods"};
+  headers.insert(headers.end(), columns.begin(), columns.end());
+  eval::Table table(headers);
+  for (eval::MethodId id : methods) {
+    std::vector<std::string> row = {eval::MethodName(id)};
+    for (const std::string& column : columns) {
+      row.push_back(cells[eval::MethodName(id)][column]);
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << "\nTable 3: cross-domain intra-type adaptation (ACE-2005, 5-way)\n"
+            << table.Render();
+  return 0;
+}

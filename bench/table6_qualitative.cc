@@ -1,0 +1,121 @@
+// Reproduces Table 6: qualitative examples — tagged query sentences produced
+// by FEWNER under the 5-way 1-shot setting for each adaptation family, with
+// gold/predicted markup and a correctness verdict per sentence.
+//
+//   ./build/bench/table6_qualitative [--iterations N] [--sentences N]
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "eval/error_analysis.h"
+#include "eval/evaluator.h"
+#include "text/bio.h"
+
+using namespace fewner;  // NOLINT: bench brevity
+
+namespace {
+
+/// Renders a sentence with bracketed predicted entities "[...]_{TypeName}" and
+/// marks gold mentions the prediction missed with "<<...>>_{TypeName}".
+void PrintTagged(const models::EncodedSentence& sentence,
+                 const std::vector<int64_t>& predicted,
+                 const std::vector<std::string>& types) {
+  auto predicted_spans = text::TagsToSpans(predicted);
+  auto gold_spans = text::TagsToSpans(sentence.tags);
+  bool all_correct = true;
+  for (const auto& g : gold_spans) {
+    bool hit = false;
+    for (const auto& p : predicted_spans) hit = hit || p == g;
+    all_correct = all_correct && hit;
+  }
+  for (const auto& p : predicted_spans) {
+    bool hit = false;
+    for (const auto& g : gold_spans) hit = hit || p == g;
+    all_correct = all_correct && hit;
+  }
+
+  std::cout << "  ";
+  for (int64_t t = 0; t < sentence.length(); ++t) {
+    for (const auto& p : predicted_spans) {
+      if (p.start == t) std::cout << "[";
+    }
+    bool missed_start = false;
+    for (const auto& g : gold_spans) {
+      bool predicted_too = false;
+      for (const auto& p : predicted_spans) predicted_too = predicted_too || p == g;
+      if (!predicted_too && g.start == t) missed_start = true;
+    }
+    if (missed_start) std::cout << "<<";
+    std::cout << sentence.source->tokens[static_cast<size_t>(t)];
+    for (const auto& g : gold_spans) {
+      bool predicted_too = false;
+      for (const auto& p : predicted_spans) predicted_too = predicted_too || p == g;
+      if (!predicted_too && g.end == t + 1) {
+        std::cout << ">>_" << types[static_cast<size_t>(std::stoll(g.label))];
+      }
+    }
+    for (const auto& p : predicted_spans) {
+      if (p.end == t + 1) {
+        std::cout << "]_" << types[static_cast<size_t>(std::stoll(p.label))];
+      }
+    }
+    std::cout << " ";
+  }
+  std::cout << "   " << (all_correct ? "[correct]" : "[incorrect]") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  bench::AddCommonFlags(&flags);
+  flags.AddInt("sentences", 2, "query sentences shown per adaptation");
+  flags.AddInt("iterations", 40, "training outer iterations per adaptation");
+  if (!bench::ParseOrDie(&flags, argc, argv)) return 0;
+
+  struct Case {
+    std::string label;
+    eval::Scenario scenario;
+  };
+  eval::ExperimentConfig base = bench::ConfigFromFlags(flags);
+  base.k_shot = 1;
+  std::vector<Case> cases;
+  cases.push_back({"NNE -> NNE (intra-domain cross-type)",
+                   eval::MakeIntraDomainScenario(data::kNne, base.data_scale,
+                                                 base.seed)});
+  cases.push_back({"GENIA -> GENIA (intra-domain cross-type)",
+                   eval::MakeIntraDomainScenario(data::kGenia, base.data_scale,
+                                                 base.seed)});
+  cases.push_back({"BN -> CTS (cross-domain intra-type)",
+                   eval::MakeCrossDomainIntraType("BN", "CTS", base.data_scale,
+                                                  base.seed)});
+  cases.push_back({"GENIA -> BioNLP13CG (cross-domain cross-type)",
+                   eval::MakeCrossDomainCrossType(data::kGenia, data::kBioNlp13Cg,
+                                                  base.data_scale, base.seed)});
+
+  std::cout << "Table 6: qualitative 5-way 1-shot examples produced by FEWNER\n"
+            << "([...]_Type = predicted span; <<...>>_Type = missed gold span)\n\n";
+  eval::ErrorProfile profile;
+  for (auto& c : cases) {
+    eval::ExperimentRunner runner(std::move(c.scenario), base);
+    auto method = runner.CreateTrained(eval::MethodId::kFewner);
+    data::Episode episode = runner.eval_sampler().Sample(0);
+    if (static_cast<int64_t>(episode.query.size()) > flags.GetInt("sentences")) {
+      episode.query.resize(static_cast<size_t>(flags.GetInt("sentences")));
+    }
+    models::EncodedEpisode enc = runner.encoder().Encode(episode);
+    auto predictions = method->AdaptAndPredict(enc);
+    std::cout << c.label << "\n  task types:";
+    for (const auto& type : episode.types) std::cout << " " << type;
+    std::cout << "\n";
+    for (size_t q = 0; q < enc.query.size(); ++q) {
+      PrintTagged(enc.query[q], predictions[q], episode.types);
+      eval::AccumulateErrors(enc.query[q].tags, predictions[q], &profile);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Error profile over all shown sentences (paper SS4.5.3 taxonomy):\n  "
+            << profile.ToString() << "\n";
+  return 0;
+}

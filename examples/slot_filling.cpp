@@ -1,0 +1,108 @@
+// The paper's §5 extension claim in action: few-shot SLOT FILLING with the
+// exact same FEWNER machinery used for NER.  Slot types are split into seen
+// (meta-training) and novel (evaluation) sets; the model adapts to 3-way
+// 1-shot tasks over dialogue utterances.
+//
+//   ./build/examples/slot_filling [--iterations N] [--episodes N]
+
+#include <algorithm>
+#include <iostream>
+
+#include "data/slot_filling.h"
+#include "eval/evaluator.h"
+#include "meta/fewner.h"
+#include "text/bio.h"
+#include "text/hash_embeddings.h"
+#include "text/vocab.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace fewner;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddInt("iterations", 80, "meta-training outer iterations");
+  flags.AddInt("episodes", 12, "evaluation episodes");
+  flags.AddBool("verbose", false, "log training losses");
+  util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+  if (!flags.GetBool("verbose")) util::SetLogLevel(util::LogLevel::kWarning);
+
+  data::SlotFillingSpec spec;
+  data::Corpus corpus = data::GenerateSlotFillingCorpus(spec);
+  std::cout << "Dialogue corpus: " << corpus.sentences.size() << " utterances, "
+            << corpus.MentionCount() << " slot values, "
+            << corpus.entity_types.size() << " slot types\n";
+
+  // Split slots: meta-train on 8 types, evaluate on 4 never-seen ones —
+  // the same cross-type protocol as the paper's NER experiments.
+  std::vector<std::string> train_types(corpus.entity_types.begin(),
+                                       corpus.entity_types.begin() + 8);
+  std::vector<std::string> eval_types(corpus.entity_types.begin() + 8,
+                                      corpus.entity_types.end());
+  std::cout << "Novel evaluation slots:";
+  for (const auto& t : eval_types) std::cout << " " << t;
+  std::cout << "\n";
+
+  text::VocabBuilder builder;
+  for (const auto& sentence : corpus.sentences) builder.AddSentence(sentence.tokens);
+  text::Vocab words = builder.BuildWordVocab();
+  text::Vocab chars = builder.BuildCharVocab();
+  const int64_t n_way = 3;
+  models::EpisodeEncoder encoder(&words, &chars, text::NumTags(n_way));
+  data::EpisodeSampler train_sampler(&corpus, train_types, n_way, 1, 4, 5);
+  data::EpisodeSampler eval_sampler(&corpus, eval_types, n_way, 1, 4, 6);
+
+  models::BackboneConfig config;
+  config.word_vocab_size = words.size();
+  config.char_vocab_size = chars.size();
+  config.word_dim = 20;
+  config.hidden_dim = 28;
+  config.context_dim = 56;
+  config.max_tags = text::NumTags(n_way);
+  text::HashEmbeddings embeddings(config.word_dim);
+  auto table = embeddings.TableFor(words);
+  config.pretrained_word_vectors = &table;
+
+  util::Rng rng(9);
+  meta::Fewner fewner(config, &rng);
+  meta::TrainConfig train;
+  train.iterations = flags.GetInt("iterations");
+  train.meta_batch = 4;
+  train.meta_lr = 0.004f;
+  train.verbose = flags.GetBool("verbose");
+  fewner.Train(train_sampler, encoder, train);
+
+  double mean_f1 = 0;
+  const int64_t episodes = flags.GetInt("episodes");
+  for (int64_t id = 0; id < episodes; ++id) {
+    data::Episode episode = eval_sampler.Sample(static_cast<uint64_t>(id));
+    if (episode.query.size() > 4) episode.query.resize(4);
+    models::EncodedEpisode enc = encoder.Encode(episode);
+    mean_f1 += eval::EpisodeF1(enc, fewner.AdaptAndPredict(enc));
+  }
+  std::cout << "Few-shot slot filling, novel slots, 3-way 1-shot F1 over "
+            << episodes << " tasks: " << 100.0 * mean_f1 / episodes << "%\n";
+
+  // Show one adapted utterance.
+  data::Episode episode = eval_sampler.Sample(500);
+  models::EncodedEpisode enc = encoder.Encode(episode);
+  auto predictions = fewner.AdaptAndPredict(enc);
+  const auto& utterance = enc.query[0];
+  std::cout << "\nParsed: ";
+  for (int64_t t = 0; t < utterance.length(); ++t) {
+    std::cout << utterance.source->tokens[static_cast<size_t>(t)];
+    const int64_t tag = predictions[0][static_cast<size_t>(t)];
+    if (tag != text::kOutsideTag) {
+      std::cout << "[" << episode.types[static_cast<size_t>(text::SlotOfTag(tag))]
+                << "]";
+    }
+    std::cout << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,372 @@
+#include "crf/linear_chain_crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fewner::crf {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+constexpr float kInvalidScore = -1e7f;
+
+/// log-sum-exp over the *rows* ("from" axis) of an [Y, Y] score matrix,
+/// returning [1, Y].
+Tensor LogSumExpOverFrom(const Tensor& scores) {
+  const int64_t y = scores.shape().dim(1);
+  Tensor by_to = tensor::Transpose(scores);                  // [to, from]
+  Tensor lse = tensor::LogSumExpLastDim(by_to);              // [to, 1]
+  return tensor::Reshape(lse, Shape{1, y});
+}
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(int64_t num_tags) : num_tags_(num_tags) {
+  FEWNER_CHECK(num_tags > 0, "CRF requires at least one tag");
+  transitions_ = Tensor::Zeros(Shape{num_tags, num_tags}, /*requires_grad=*/true);
+  start_ = Tensor::Zeros(Shape{num_tags}, /*requires_grad=*/true);
+  end_ = Tensor::Zeros(Shape{num_tags}, /*requires_grad=*/true);
+  RegisterParameter("transitions", &transitions_);
+  RegisterParameter("start", &start_);
+  RegisterParameter("end", &end_);
+}
+
+Tensor LinearChainCrf::ValidityMask(const std::vector<bool>* valid_tags) const {
+  std::vector<float> mask(static_cast<size_t>(num_tags_), 0.0f);
+  if (valid_tags != nullptr) {
+    FEWNER_CHECK(static_cast<int64_t>(valid_tags->size()) == num_tags_,
+                 "valid_tags has " << valid_tags->size() << " entries for "
+                                   << num_tags_ << " tags");
+    for (int64_t i = 0; i < num_tags_; ++i) {
+      if (!(*valid_tags)[static_cast<size_t>(i)]) {
+        mask[static_cast<size_t>(i)] = kInvalidScore;
+      }
+    }
+  }
+  return Tensor::FromData(Shape{num_tags_}, std::move(mask));
+}
+
+Tensor LinearChainCrf::NegLogLikelihood(const Tensor& emissions,
+                                        const std::vector<int64_t>& tags,
+                                        const std::vector<bool>* valid_tags) const {
+  const int64_t length = emissions.shape().dim(0);
+  FEWNER_CHECK(emissions.rank() == 2 && emissions.shape().dim(1) == num_tags_,
+               "emissions must be [L, " << num_tags_ << "], got "
+                                        << emissions.shape().ToString());
+  FEWNER_CHECK(static_cast<int64_t>(tags.size()) == length,
+               "got " << tags.size() << " tags for " << length << " tokens");
+  for (int64_t tag : tags) {
+    FEWNER_CHECK(tag >= 0 && tag < num_tags_, "tag " << tag << " out of range");
+    FEWNER_CHECK(valid_tags == nullptr || (*valid_tags)[static_cast<size_t>(tag)],
+                 "gold tag " << tag << " is masked invalid");
+  }
+
+  // Crush invalid tags out of every path (gold path checked valid above).
+  Tensor masked = tensor::Add(emissions, ValidityMask(valid_tags));  // broadcast [Y]
+
+  // --- log partition function via the forward algorithm ---
+  Tensor alpha = tensor::Add(tensor::Reshape(start_, Shape{1, num_tags_}),
+                             tensor::Slice(masked, 0, 0, 1));  // [1, Y]
+  for (int64_t t = 1; t < length; ++t) {
+    // scores[i, j] = alpha[i] + transitions[i, j]
+    Tensor scores =
+        tensor::Add(tensor::Reshape(alpha, Shape{num_tags_, 1}), transitions_);
+    alpha = tensor::Add(LogSumExpOverFrom(scores), tensor::Slice(masked, 0, t, 1));
+  }
+  Tensor final_scores = tensor::Add(alpha, end_);
+  Tensor log_z = tensor::Reshape(tensor::LogSumExpLastDim(final_scores), Shape{});
+
+  // --- score of the gold path, via constant selection masks ---
+  std::vector<float> emit_mask(static_cast<size_t>(length * num_tags_), 0.0f);
+  for (int64_t t = 0; t < length; ++t) {
+    emit_mask[static_cast<size_t>(t * num_tags_ + tags[static_cast<size_t>(t)])] = 1.0f;
+  }
+  std::vector<float> trans_count(static_cast<size_t>(num_tags_ * num_tags_), 0.0f);
+  for (int64_t t = 1; t < length; ++t) {
+    trans_count[static_cast<size_t>(tags[static_cast<size_t>(t - 1)] * num_tags_ +
+                                    tags[static_cast<size_t>(t)])] += 1.0f;
+  }
+  std::vector<float> start_mask(static_cast<size_t>(num_tags_), 0.0f);
+  start_mask[static_cast<size_t>(tags.front())] = 1.0f;
+  std::vector<float> end_mask(static_cast<size_t>(num_tags_), 0.0f);
+  end_mask[static_cast<size_t>(tags.back())] = 1.0f;
+
+  Tensor gold_emit = tensor::SumAll(tensor::Mul(
+      masked, Tensor::FromData(Shape{length, num_tags_}, std::move(emit_mask))));
+  Tensor gold_trans = tensor::SumAll(tensor::Mul(
+      transitions_,
+      Tensor::FromData(Shape{num_tags_, num_tags_}, std::move(trans_count))));
+  Tensor gold_start = tensor::SumAll(tensor::Mul(
+      start_, Tensor::FromData(Shape{num_tags_}, std::move(start_mask))));
+  Tensor gold_end = tensor::SumAll(
+      tensor::Mul(end_, Tensor::FromData(Shape{num_tags_}, std::move(end_mask))));
+  Tensor gold_score =
+      tensor::Add(tensor::Add(gold_emit, gold_trans), tensor::Add(gold_start, gold_end));
+
+  return tensor::Sub(log_z, gold_score);  // NLL >= 0 up to float error
+}
+
+std::vector<int64_t> LinearChainCrf::Viterbi(const Tensor& emissions,
+                                             const std::vector<bool>* valid_tags) const {
+  const int64_t length = emissions.shape().dim(0);
+  const int64_t y = num_tags_;
+  FEWNER_CHECK(emissions.rank() == 2 && emissions.shape().dim(1) == y,
+               "emissions must be [L, " << y << "]");
+  FEWNER_CHECK(length > 0, "Viterbi on empty sentence");
+
+  auto is_valid = [&](int64_t tag) {
+    return valid_tags == nullptr || (*valid_tags)[static_cast<size_t>(tag)];
+  };
+
+  const auto& emit = emissions.data();
+  const auto& trans = transitions_.data();
+  const auto& start = start_.data();
+  const auto& end = end_.data();
+
+  std::vector<float> score(static_cast<size_t>(y), kInvalidScore);
+  std::vector<std::vector<int64_t>> backptr(
+      static_cast<size_t>(length), std::vector<int64_t>(static_cast<size_t>(y), -1));
+
+  for (int64_t j = 0; j < y; ++j) {
+    if (is_valid(j)) score[static_cast<size_t>(j)] = start[static_cast<size_t>(j)] +
+                                                     emit[static_cast<size_t>(j)];
+  }
+  for (int64_t t = 1; t < length; ++t) {
+    std::vector<float> next(static_cast<size_t>(y), kInvalidScore);
+    for (int64_t j = 0; j < y; ++j) {
+      if (!is_valid(j)) continue;
+      float best = kInvalidScore * 2;
+      int64_t best_from = -1;
+      for (int64_t i = 0; i < y; ++i) {
+        if (!is_valid(i)) continue;
+        const float candidate =
+            score[static_cast<size_t>(i)] + trans[static_cast<size_t>(i * y + j)];
+        if (candidate > best) {
+          best = candidate;
+          best_from = i;
+        }
+      }
+      next[static_cast<size_t>(j)] = best + emit[static_cast<size_t>(t * y + j)];
+      backptr[static_cast<size_t>(t)][static_cast<size_t>(j)] = best_from;
+    }
+    score = std::move(next);
+  }
+
+  float best_final = kInvalidScore * 2;
+  int64_t best_tag = 0;
+  for (int64_t j = 0; j < y; ++j) {
+    if (!is_valid(j)) continue;
+    const float candidate = score[static_cast<size_t>(j)] + end[static_cast<size_t>(j)];
+    if (candidate > best_final) {
+      best_final = candidate;
+      best_tag = j;
+    }
+  }
+
+  std::vector<int64_t> path(static_cast<size_t>(length));
+  path[static_cast<size_t>(length - 1)] = best_tag;
+  for (int64_t t = length - 1; t > 0; --t) {
+    best_tag = backptr[static_cast<size_t>(t)][static_cast<size_t>(best_tag)];
+    path[static_cast<size_t>(t - 1)] = best_tag;
+  }
+  return path;
+}
+
+std::vector<LinearChainCrf::ScoredPath> LinearChainCrf::ViterbiKBest(
+    const Tensor& emissions, int64_t k, const std::vector<bool>* valid_tags) const {
+  const int64_t length = emissions.shape().dim(0);
+  const int64_t y = num_tags_;
+  FEWNER_CHECK(k >= 1, "ViterbiKBest requires k >= 1");
+  FEWNER_CHECK(emissions.rank() == 2 && emissions.shape().dim(1) == y,
+               "emissions must be [L, " << y << "]");
+  auto is_valid = [&](int64_t tag) {
+    return valid_tags == nullptr || (*valid_tags)[static_cast<size_t>(tag)];
+  };
+  const auto& emit = emissions.data();
+  const auto& trans = transitions_.data();
+  const auto& start = start_.data();
+  const auto& end = end_.data();
+
+  // candidates[t][j] = up to k (score, from_tag, from_rank), best first.
+  struct Candidate {
+    float score;
+    int64_t from_tag;
+    int64_t from_rank;
+  };
+  std::vector<std::vector<std::vector<Candidate>>> candidates(
+      static_cast<size_t>(length),
+      std::vector<std::vector<Candidate>>(static_cast<size_t>(y)));
+
+  for (int64_t j = 0; j < y; ++j) {
+    if (!is_valid(j)) continue;
+    candidates[0][static_cast<size_t>(j)].push_back(
+        {start[static_cast<size_t>(j)] + emit[static_cast<size_t>(j)], -1, -1});
+  }
+  for (int64_t t = 1; t < length; ++t) {
+    for (int64_t j = 0; j < y; ++j) {
+      if (!is_valid(j)) continue;
+      std::vector<Candidate> merged;
+      for (int64_t i = 0; i < y; ++i) {
+        const auto& previous = candidates[static_cast<size_t>(t - 1)]
+                                         [static_cast<size_t>(i)];
+        for (size_t r = 0; r < previous.size(); ++r) {
+          merged.push_back({previous[r].score +
+                                trans[static_cast<size_t>(i * y + j)] +
+                                emit[static_cast<size_t>(t * y + j)],
+                            i, static_cast<int64_t>(r)});
+        }
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.score > b.score;
+                });
+      if (static_cast<int64_t>(merged.size()) > k) {
+        merged.resize(static_cast<size_t>(k));
+      }
+      candidates[static_cast<size_t>(t)][static_cast<size_t>(j)] =
+          std::move(merged);
+    }
+  }
+
+  // Final ranking with end scores.
+  struct FinalEntry {
+    float score;
+    int64_t tag;
+    int64_t rank;
+  };
+  std::vector<FinalEntry> finals;
+  for (int64_t j = 0; j < y; ++j) {
+    const auto& list =
+        candidates[static_cast<size_t>(length - 1)][static_cast<size_t>(j)];
+    for (size_t r = 0; r < list.size(); ++r) {
+      finals.push_back({list[r].score + end[static_cast<size_t>(j)], j,
+                        static_cast<int64_t>(r)});
+    }
+  }
+  std::sort(finals.begin(), finals.end(),
+            [](const FinalEntry& a, const FinalEntry& b) {
+              return a.score > b.score;
+            });
+  if (static_cast<int64_t>(finals.size()) > k) finals.resize(static_cast<size_t>(k));
+
+  std::vector<ScoredPath> paths;
+  for (const FinalEntry& final_entry : finals) {
+    ScoredPath path;
+    path.score = final_entry.score;
+    path.tags.assign(static_cast<size_t>(length), 0);
+    int64_t tag = final_entry.tag;
+    int64_t rank = final_entry.rank;
+    for (int64_t t = length - 1; t >= 0; --t) {
+      path.tags[static_cast<size_t>(t)] = tag;
+      const Candidate& c =
+          candidates[static_cast<size_t>(t)][static_cast<size_t>(tag)]
+                    [static_cast<size_t>(rank)];
+      tag = c.from_tag;
+      rank = c.from_rank;
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<std::vector<double>> LinearChainCrf::Marginals(
+    const Tensor& emissions, const std::vector<bool>* valid_tags) const {
+  const int64_t length = emissions.shape().dim(0);
+  const int64_t y = num_tags_;
+  FEWNER_CHECK(emissions.rank() == 2 && emissions.shape().dim(1) == y,
+               "emissions must be [L, " << y << "]");
+  auto is_valid = [&](int64_t tag) {
+    return valid_tags == nullptr || (*valid_tags)[static_cast<size_t>(tag)];
+  };
+  const auto& emit = emissions.data();
+  const auto& trans = transitions_.data();
+  const auto& start = start_.data();
+  const auto& end = end_.data();
+  constexpr double kNegInf = -1e30;
+
+  auto lse = [](const std::vector<double>& values) {
+    double best = kNegInf;
+    for (double v : values) best = std::max(best, v);
+    if (best <= kNegInf) return kNegInf;
+    double total = 0.0;
+    for (double v : values) total += std::exp(v - best);
+    return best + std::log(total);
+  };
+
+  // Forward (alpha includes the emission at t).
+  std::vector<std::vector<double>> alpha(
+      static_cast<size_t>(length), std::vector<double>(static_cast<size_t>(y),
+                                                       kNegInf));
+  for (int64_t j = 0; j < y; ++j) {
+    if (is_valid(j)) {
+      alpha[0][static_cast<size_t>(j)] =
+          start[static_cast<size_t>(j)] + emit[static_cast<size_t>(j)];
+    }
+  }
+  for (int64_t t = 1; t < length; ++t) {
+    for (int64_t j = 0; j < y; ++j) {
+      if (!is_valid(j)) continue;
+      std::vector<double> terms;
+      terms.reserve(static_cast<size_t>(y));
+      for (int64_t i = 0; i < y; ++i) {
+        if (!is_valid(i)) continue;
+        terms.push_back(alpha[static_cast<size_t>(t - 1)][static_cast<size_t>(i)] +
+                        trans[static_cast<size_t>(i * y + j)]);
+      }
+      alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] =
+          lse(terms) + emit[static_cast<size_t>(t * y + j)];
+    }
+  }
+
+  // Backward (beta excludes the emission at t).
+  std::vector<std::vector<double>> beta(
+      static_cast<size_t>(length), std::vector<double>(static_cast<size_t>(y),
+                                                       kNegInf));
+  for (int64_t j = 0; j < y; ++j) {
+    if (is_valid(j)) {
+      beta[static_cast<size_t>(length - 1)][static_cast<size_t>(j)] =
+          end[static_cast<size_t>(j)];
+    }
+  }
+  for (int64_t t = length - 2; t >= 0; --t) {
+    for (int64_t i = 0; i < y; ++i) {
+      if (!is_valid(i)) continue;
+      std::vector<double> terms;
+      terms.reserve(static_cast<size_t>(y));
+      for (int64_t j = 0; j < y; ++j) {
+        if (!is_valid(j)) continue;
+        terms.push_back(trans[static_cast<size_t>(i * y + j)] +
+                        emit[static_cast<size_t>((t + 1) * y + j)] +
+                        beta[static_cast<size_t>(t + 1)][static_cast<size_t>(j)]);
+      }
+      beta[static_cast<size_t>(t)][static_cast<size_t>(i)] = lse(terms);
+    }
+  }
+
+  std::vector<double> final_terms;
+  for (int64_t j = 0; j < y; ++j) {
+    if (is_valid(j)) {
+      final_terms.push_back(
+          alpha[static_cast<size_t>(length - 1)][static_cast<size_t>(j)] +
+          end[static_cast<size_t>(j)]);
+    }
+  }
+  const double log_z = lse(final_terms);
+
+  std::vector<std::vector<double>> marginals(
+      static_cast<size_t>(length), std::vector<double>(static_cast<size_t>(y),
+                                                       0.0));
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t j = 0; j < y; ++j) {
+      if (!is_valid(j)) continue;
+      marginals[static_cast<size_t>(t)][static_cast<size_t>(j)] =
+          std::exp(alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] +
+                   beta[static_cast<size_t>(t)][static_cast<size_t>(j)] - log_z);
+    }
+  }
+  return marginals;
+}
+
+}  // namespace fewner::crf

@@ -1,0 +1,67 @@
+// Linear-chain conditional random field (paper Eq. 4): models the label
+// sequence jointly with learned transition scores on top of per-token emission
+// scores.  The negative log-likelihood is fully differentiable (forward
+// algorithm in log space), so the meta-gradient flows through it; decoding
+// uses Viterbi.
+//
+// Episodes may use a subset of the tag inventory (an N-way task with N smaller
+// than the trained maximum), so both the loss and the decoder accept a
+// validity mask that excludes unused tags from the partition function and from
+// the decoded paths.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace fewner::crf {
+
+/// Linear-chain CRF over a fixed tag inventory.
+class LinearChainCrf : public nn::Module {
+ public:
+  explicit LinearChainCrf(int64_t num_tags);
+
+  /// Negative log-likelihood of `tags` given per-token emissions [L, num_tags].
+  /// If `valid_tags` is non-null it must have num_tags entries; invalid tags are
+  /// excluded from the partition function (their emissions are crushed).
+  tensor::Tensor NegLogLikelihood(const tensor::Tensor& emissions,
+                                  const std::vector<int64_t>& tags,
+                                  const std::vector<bool>* valid_tags = nullptr) const;
+
+  /// Highest-scoring tag sequence for emissions [L, num_tags].
+  std::vector<int64_t> Viterbi(const tensor::Tensor& emissions,
+                               const std::vector<bool>* valid_tags = nullptr) const;
+
+  /// The k highest-scoring tag sequences with their (unnormalized) path
+  /// scores, best first.  Returns fewer than k when the (valid-tag) path space
+  /// is smaller.  Useful for downstream rerankers and for confidence triage.
+  struct ScoredPath {
+    std::vector<int64_t> tags;
+    float score;
+  };
+  std::vector<ScoredPath> ViterbiKBest(const tensor::Tensor& emissions, int64_t k,
+                                       const std::vector<bool>* valid_tags =
+                                           nullptr) const;
+
+  /// Posterior tag marginals p(y_t = j | h) via forward-backward, [L, num_tags]
+  /// rows summing to 1 over valid tags.  Inference-only (plain float math).
+  std::vector<std::vector<double>> Marginals(const tensor::Tensor& emissions,
+                                             const std::vector<bool>* valid_tags =
+                                                 nullptr) const;
+
+  int64_t num_tags() const { return num_tags_; }
+
+ private:
+  /// Additive [num_tags] mask: 0 for valid tags, a large negative otherwise.
+  tensor::Tensor ValidityMask(const std::vector<bool>* valid_tags) const;
+
+  int64_t num_tags_;
+  tensor::Tensor transitions_;  ///< [from, to]
+  tensor::Tensor start_;        ///< [num_tags] score of starting in a tag
+  tensor::Tensor end_;          ///< [num_tags] score of ending in a tag
+};
+
+}  // namespace fewner::crf

@@ -1,0 +1,157 @@
+#include "data/conll.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fewner::data {
+
+namespace {
+
+/// Accumulates one sentence's tokens + string labels and finalizes spans.
+class SentenceAccumulator {
+ public:
+  bool empty() const { return tokens_.empty(); }
+
+  void Add(std::string token, std::string label) {
+    tokens_.push_back(std::move(token));
+    labels_.push_back(std::move(label));
+  }
+
+  /// Converts BIO labels to spans (conlleval-style recovery for dangling I-).
+  util::Result<Sentence> Finish() {
+    Sentence sentence;
+    sentence.tokens = std::move(tokens_);
+    int64_t span_start = -1;
+    std::string span_type;
+    auto flush = [&](int64_t end) {
+      if (span_start >= 0) {
+        sentence.entities.push_back(text::Span{span_start, end, span_type});
+        span_start = -1;
+      }
+    };
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      const std::string& label = labels_[i];
+      const int64_t pos = static_cast<int64_t>(i);
+      if (label == "O") {
+        flush(pos);
+      } else if (util::StartsWith(label, "B-")) {
+        flush(pos);
+        span_start = pos;
+        span_type = label.substr(2);
+      } else if (util::StartsWith(label, "I-")) {
+        const std::string type = label.substr(2);
+        if (span_start >= 0 && type == span_type) continue;
+        flush(pos);  // dangling I- starts a new span
+        span_start = pos;
+        span_type = type;
+      } else {
+        return util::Status::InvalidArgument("unrecognized label '" + label +
+                                             "' at token " + std::to_string(i));
+      }
+    }
+    flush(static_cast<int64_t>(labels_.size()));
+    tokens_.clear();
+    labels_.clear();
+    return sentence;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace
+
+util::Result<Corpus> ReadConllStream(std::istream* in, const std::string& name) {
+  Corpus corpus;
+  corpus.name = name;
+  corpus.genre = "unknown";
+  SentenceAccumulator accumulator;
+  std::set<std::string> types;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    // Trim trailing carriage return (Windows-formatted files).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const bool blank = line.find_first_not_of(" \t") == std::string::npos;
+    if (blank) {
+      if (!accumulator.empty()) {
+        auto sentence = accumulator.Finish();
+        if (!sentence.ok()) {
+          return util::Status::InvalidArgument(
+              sentence.status().message() + " (near line " +
+              std::to_string(line_number) + ")");
+        }
+        for (const auto& e : sentence.value().entities) types.insert(e.label);
+        corpus.sentences.push_back(std::move(sentence).value());
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;
+    std::vector<std::string> columns = util::Split(line, ' ');
+    if (columns.size() == 1) columns = util::Split(line, '\t');
+    if (columns.empty()) continue;
+    if (columns[0] == "-DOCSTART-") continue;
+    if (columns.size() < 2) {
+      return util::Status::InvalidArgument("line " + std::to_string(line_number) +
+                                           " has no label column: '" + line + "'");
+    }
+    accumulator.Add(columns.front(), columns.back());
+  }
+  if (!accumulator.empty()) {
+    auto sentence = accumulator.Finish();
+    if (!sentence.ok()) return sentence.status();
+    for (const auto& e : sentence.value().entities) types.insert(e.label);
+    corpus.sentences.push_back(std::move(sentence).value());
+  }
+  if (corpus.sentences.empty()) {
+    return util::Status::InvalidArgument("no sentences in CoNLL input '" + name + "'");
+  }
+  corpus.entity_types.assign(types.begin(), types.end());
+  return corpus;
+}
+
+util::Result<Corpus> ReadConllFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open '" + path + "'");
+  return ReadConllStream(&in, path);
+}
+
+util::Status WriteConllStream(const Corpus& corpus, std::ostream* out) {
+  for (const Sentence& sentence : corpus.sentences) {
+    // Per-token labels reconstructed from spans.
+    std::vector<std::string> labels(sentence.tokens.size(), "O");
+    for (const auto& span : sentence.entities) {
+      if (span.start < 0 ||
+          span.end > static_cast<int64_t>(sentence.tokens.size())) {
+        return util::Status::InvalidArgument("span out of range in sentence");
+      }
+      labels[static_cast<size_t>(span.start)] = "B-" + span.label;
+      for (int64_t t = span.start + 1; t < span.end; ++t) {
+        labels[static_cast<size_t>(t)] = "I-" + span.label;
+      }
+    }
+    for (size_t t = 0; t < sentence.tokens.size(); ++t) {
+      (*out) << sentence.tokens[t] << " " << labels[t] << "\n";
+    }
+    (*out) << "\n";
+  }
+  return util::Status::OK();
+}
+
+util::Status WriteConllFile(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return util::Status::InvalidArgument("cannot open '" + path + "'");
+  util::Status status = WriteConllStream(corpus, &out);
+  if (!status.ok()) return status;
+  if (!out) return util::Status::Internal("write failed for '" + path + "'");
+  return util::Status::OK();
+}
+
+}  // namespace fewner::data

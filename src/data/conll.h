@@ -1,0 +1,38 @@
+// CoNLL-2003-style corpus I/O.
+//
+// This is the adoption path for real corpora: the paper's datasets (OntoNotes,
+// GENIA exports, BioNLP13CG, ...) are commonly distributed in CoNLL column
+// format — one token per line, blank line between sentences, the last column
+// a BIO/BIO2 label such as "B-PER".  ReadConll turns such files into the same
+// data::Corpus structures the synthetic factory produces, so every sampler,
+// model and bench in this repo runs unchanged on real data.
+//
+// Supported conventions:
+//   - any number of whitespace-separated columns; token = first, label = last
+//   - "-DOCSTART-" lines are skipped
+//   - labels: "O", "B-X", "I-X" (a dangling I-X opens a span, as conlleval)
+//   - comment lines starting with "#" are skipped
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/corpus.h"
+#include "util/status.h"
+
+namespace fewner::data {
+
+/// Parses CoNLL text from a stream into a corpus named `name`.
+util::Result<Corpus> ReadConllStream(std::istream* in, const std::string& name);
+
+/// Reads a CoNLL file from disk.
+util::Result<Corpus> ReadConllFile(const std::string& path);
+
+/// Writes a corpus in two-column CoNLL format (token, BIO label).
+util::Status WriteConllStream(const Corpus& corpus, std::ostream* out);
+
+/// Writes a corpus to a CoNLL file.
+util::Status WriteConllFile(const Corpus& corpus, const std::string& path);
+
+}  // namespace fewner::data

@@ -1,0 +1,149 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fewner::data {
+
+namespace {
+
+/// ACE-2005 domain styles.  shared_vocab_fraction and template_style encode
+/// domain distance: BN and CTS are close (both broadcast speech, high shared
+/// vocabulary), BC and UN are far (conversation vs. noisy forum), NW and WL
+/// sit in between — matching the hardness ordering the paper observes
+/// (BN→CTS easiest, BC→UN hardest).
+std::vector<DomainStyle> AceDomainStyles() {
+  auto make = [](const char* name, double shared, int64_t style, double trigger_p) {
+    DomainStyle d;
+    d.name = name;
+    d.shared_vocab_fraction = shared;
+    d.template_style = style;
+    d.trigger_probability = trigger_p;
+    d.vocab_seed = util::HashString(std::string("ace:") + name);
+    return d;
+  };
+  return {
+      make("BC", 0.60, 1, 0.75),  // broadcast conversation: speech style
+      make("BN", 0.85, 1, 0.85),  // broadcast news: speech style, rich vocab
+      make("CTS", 0.80, 1, 0.80), // telephone speech: close to BN
+      make("NW", 0.75, 0, 0.90),  // newswire: written
+      make("UN", 0.30, 2, 0.55),  // usenet: forum noise, far from everything
+      make("WL", 0.50, 2, 0.70),  // weblog: forum-ish, mid distance
+  };
+}
+
+DomainStyle SingleDomain(const std::string& dataset) {
+  DomainStyle d;
+  d.name = "";
+  d.shared_vocab_fraction = 0.7;
+  d.template_style = 0;
+  d.trigger_probability = 0.8;
+  d.vocab_seed = util::HashString("dataset:" + dataset);
+  return d;
+}
+
+}  // namespace
+
+SyntheticSpec SpecFor(const std::string& name, double scale) {
+  FEWNER_CHECK(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got " << scale);
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.seed = util::HashString("corpus:" + name);
+  spec.domains = {SingleDomain(name)};
+
+  // Type-pool offsets keep every dataset's type lexicon disjoint.
+  if (name == kNne) {
+    spec.genre = "newswire";
+    spec.num_types = 114;
+    spec.num_sentences = 39932;
+    spec.mentions_per_sentence = 4.66;  // 185925 / 39932
+    spec.type_pool_offset = 0;
+  } else if (name == kFgNer) {
+    spec.genre = "newswire";
+    spec.num_types = 200;
+    spec.num_sentences = 3941;
+    spec.mentions_per_sentence = 1.87;  // 7384 / 3941
+    spec.type_pool_offset = 1000;
+  } else if (name == kGenia) {
+    spec.genre = "medical";
+    spec.num_types = 36;
+    spec.num_sentences = 18546;
+    spec.mentions_per_sentence = 4.13;  // 76625 / 18546
+    spec.type_pool_offset = 2000;
+  } else if (name == kAce2005) {
+    spec.genre = "various";
+    spec.num_types = 54;
+    spec.num_sentences = 17399;
+    spec.mentions_per_sentence = 2.78;  // 48397 / 17399
+    spec.type_pool_offset = 3000;
+    spec.domains = AceDomainStyles();
+  } else if (name == kOntoNotes) {
+    spec.genre = "various";
+    spec.num_types = 18;
+    spec.num_sentences = 42224;
+    spec.mentions_per_sentence = 2.47;  // 104248 / 42224
+    spec.type_pool_offset = 4000;
+  } else if (name == kBioNlp13Cg) {
+    spec.genre = "medical";
+    spec.num_types = 16;
+    spec.num_sentences = 5939;
+    spec.mentions_per_sentence = 3.59;  // 21315 / 5939
+    spec.type_pool_offset = 5000;
+  } else {
+    FEWNER_CHECK(false, "unknown dataset '" << name << "'");
+  }
+
+  // Scaled corpora keep a floor of ~2000 sentences (capped by the full size):
+  // sparse inventories like FG-NER (200 types, 1.87 mentions/sentence) cannot
+  // support 5-way 5-shot episode construction below that.
+  const int64_t floor_sentences =
+      std::min<int64_t>(spec.num_sentences,
+                        std::max<int64_t>(2000, 64 * static_cast<int64_t>(
+                                                         spec.domains.size())));
+  spec.num_sentences = std::max<int64_t>(
+      static_cast<int64_t>(spec.num_sentences * scale), floor_sentences);
+  return spec;
+}
+
+Corpus MakeDataset(const std::string& name, double scale) {
+  return GenerateCorpus(SpecFor(name, scale));
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {kNne, kFgNer, kGenia, kAce2005, kOntoNotes, kBioNlp13Cg};
+}
+
+TypeSplit SplitTypes(const std::vector<std::string>& types, int64_t n_train,
+                     int64_t n_val, int64_t n_test, uint64_t seed) {
+  FEWNER_CHECK(n_train + n_val + n_test <= static_cast<int64_t>(types.size()),
+               "split " << n_train << "/" << n_val << "/" << n_test << " needs more than "
+                        << types.size() << " types");
+  std::vector<std::string> shuffled = types;
+  util::Rng rng(seed);
+  rng.Shuffle(&shuffled);
+  TypeSplit split;
+  auto it = shuffled.begin();
+  split.train.assign(it, it + n_train);
+  it += n_train;
+  split.val.assign(it, it + n_val);
+  it += n_val;
+  split.test.assign(it, it + n_test);
+  return split;
+}
+
+void IntraDomainSplitSizes(const std::string& name, int64_t* n_train, int64_t* n_val,
+                           int64_t* n_test) {
+  if (name == kNne) {
+    *n_train = 52, *n_val = 10, *n_test = 15;
+  } else if (name == kFgNer) {
+    *n_train = 163, *n_val = 15, *n_test = 20;
+  } else if (name == kGenia) {
+    *n_train = 18, *n_val = 8, *n_test = 10;
+  } else {
+    FEWNER_CHECK(false, "no intra-domain split sizes for '" << name << "'");
+  }
+}
+
+}  // namespace fewner::data

@@ -1,0 +1,50 @@
+// Named dataset registry reproducing Table 1 of the paper.
+//
+// Each factory returns the synthetic counterpart of one evaluation corpus,
+// with the paper's type counts, sentence counts and mention densities.  A
+// `scale` in (0, 1] shrinks sentence counts proportionally for CPU-tractable
+// runs (type inventories are never scaled); benches default to a small scale
+// and accept --scale 1.0 to regenerate the full-size corpora.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/synthetic.h"
+
+namespace fewner::data {
+
+/// Dataset names accepted by MakeDataset.
+inline constexpr const char* kNne = "NNE";
+inline constexpr const char* kFgNer = "FG-NER";
+inline constexpr const char* kGenia = "GENIA";
+inline constexpr const char* kAce2005 = "ACE2005";
+inline constexpr const char* kOntoNotes = "OntoNotes";
+inline constexpr const char* kBioNlp13Cg = "BioNLP13CG";
+
+/// ACE-2005 domain codes (paper §4.3.1).
+inline constexpr const char* kAceDomains[] = {"BC", "BN", "CTS", "NW", "UN", "WL"};
+
+/// Spec for a named dataset at the given scale.
+SyntheticSpec SpecFor(const std::string& name, double scale);
+
+/// Generates a named dataset (see the k* constants above).
+Corpus MakeDataset(const std::string& name, double scale = 1.0);
+
+/// All six dataset names in Table 1 order.
+std::vector<std::string> AllDatasetNames();
+
+/// Splits a type inventory into disjoint train/val/test partitions of the
+/// given sizes (paper §4.2.1: NNE 52/10/15, FG-NER 163/15/20, GENIA 18/8/10;
+/// leftover types are dropped, as in the paper).  Deterministic in `seed`.
+TypeSplit SplitTypes(const std::vector<std::string>& types, int64_t n_train,
+                     int64_t n_val, int64_t n_test, uint64_t seed);
+
+/// The paper's type-split sizes for the three intra-domain datasets.
+void IntraDomainSplitSizes(const std::string& name, int64_t* n_train, int64_t* n_val,
+                           int64_t* n_test);
+
+}  // namespace fewner::data

@@ -1,0 +1,167 @@
+#include "data/episode_sampler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace fewner::data {
+
+std::vector<int64_t> SlotsFor(const Sentence& sentence,
+                              const std::vector<std::string>& types) {
+  std::vector<int64_t> slots;
+  slots.reserve(sentence.entities.size());
+  for (const auto& entity : sentence.entities) {
+    auto it = std::find(types.begin(), types.end(), entity.label);
+    slots.push_back(it == types.end() ? -1
+                                      : static_cast<int64_t>(it - types.begin()));
+  }
+  return slots;
+}
+
+EpisodeSampler::EpisodeSampler(const Corpus* corpus,
+                               std::vector<std::string> allowed_types, int64_t n_way,
+                               int64_t k_shot, int64_t query_size, uint64_t seed)
+    : corpus_(corpus),
+      allowed_types_(std::move(allowed_types)),
+      n_way_(n_way),
+      k_shot_(k_shot),
+      query_size_(query_size),
+      seed_(seed) {
+  FEWNER_CHECK(corpus_ != nullptr, "EpisodeSampler requires a corpus");
+  FEWNER_CHECK(n_way_ >= 1 && k_shot_ >= 1 && query_size_ >= 1,
+               "invalid episode configuration " << n_way_ << "-way " << k_shot_
+                                                << "-shot");
+  FEWNER_CHECK(static_cast<int64_t>(allowed_types_.size()) >= n_way_,
+               "only " << allowed_types_.size() << " allowed types for " << n_way_
+                       << "-way tasks");
+  std::unordered_set<std::string> allowed(allowed_types_.begin(),
+                                          allowed_types_.end());
+  for (const Sentence& sentence : corpus_->sentences) {
+    for (const auto& entity : sentence.entities) {
+      if (allowed.count(entity.label)) {
+        candidates_.push_back(&sentence);
+        break;
+      }
+    }
+  }
+  FEWNER_CHECK(!candidates_.empty(), "no sentences mention the allowed types");
+}
+
+bool EpisodeSampler::TryBuild(util::Rng* rng, Episode* episode) const {
+  std::vector<const Sentence*> stream = candidates_;
+  rng->Shuffle(&stream);
+  std::unordered_set<std::string> allowed(allowed_types_.begin(),
+                                          allowed_types_.end());
+
+  std::vector<std::string> ways;                 // chosen classes, slot order
+  std::map<std::string, int64_t> shot_counts;    // mentions per chosen class
+  std::vector<const Sentence*> support;
+  std::unordered_set<const Sentence*> in_support;
+
+  auto complete = [&]() {
+    if (static_cast<int64_t>(ways.size()) < n_way_) return false;
+    for (const auto& way : ways) {
+      if (shot_counts[way] < k_shot_) return false;
+    }
+    return true;
+  };
+
+  size_t cursor = 0;
+  while (!complete() && cursor < stream.size()) {
+    const Sentence* sentence = stream[cursor++];
+
+    // Gain test (paper step 2): a new class while ways are open, or an
+    // under-filled chosen class.
+    bool gain = false;
+    for (const auto& entity : sentence->entities) {
+      if (!allowed.count(entity.label)) continue;
+      const bool is_way =
+          std::find(ways.begin(), ways.end(), entity.label) != ways.end();
+      if (!is_way && static_cast<int64_t>(ways.size()) < n_way_) gain = true;
+      if (is_way && shot_counts[entity.label] < k_shot_) gain = true;
+    }
+    if (!gain) continue;
+
+    support.push_back(sentence);
+    in_support.insert(sentence);
+    for (const auto& entity : sentence->entities) {
+      if (!allowed.count(entity.label)) continue;
+      const bool is_way =
+          std::find(ways.begin(), ways.end(), entity.label) != ways.end();
+      if (is_way) {
+        ++shot_counts[entity.label];
+      } else if (static_cast<int64_t>(ways.size()) < n_way_) {
+        ways.push_back(entity.label);
+        shot_counts[entity.label] = 1;
+      }
+      // Types beyond the N-th way are treated as O for this task.
+    }
+  }
+  if (!complete()) return false;
+
+  // Minimality pruning (paper step 3): drop any sentence whose removal keeps
+  // every chosen class at >= K mentions.
+  for (auto it = support.begin(); it != support.end();) {
+    std::map<std::string, int64_t> without;
+    for (const auto& way : ways) without[way] = 0;
+    bool removable = true;
+    for (const Sentence* other : support) {
+      if (other == *it) continue;
+      for (const auto& entity : other->entities) {
+        if (without.count(entity.label)) ++without[entity.label];
+      }
+    }
+    for (const auto& way : ways) {
+      if (without[way] < k_shot_) {
+        removable = false;
+        break;
+      }
+    }
+    if (removable) {
+      in_support.erase(*it);
+      it = support.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Query set: remaining sentences mentioning at least one chosen class.
+  std::vector<const Sentence*> query_pool;
+  std::unordered_set<std::string> way_set(ways.begin(), ways.end());
+  for (const Sentence* sentence : stream) {
+    if (in_support.count(sentence)) continue;
+    for (const auto& entity : sentence->entities) {
+      if (way_set.count(entity.label)) {
+        query_pool.push_back(sentence);
+        break;
+      }
+    }
+  }
+  if (static_cast<int64_t>(query_pool.size()) < 1) return false;
+  if (static_cast<int64_t>(query_pool.size()) > query_size_) {
+    query_pool.resize(static_cast<size_t>(query_size_));
+  }
+
+  episode->types = ways;
+  episode->support = support;
+  episode->query = query_pool;
+  return true;
+}
+
+Episode EpisodeSampler::Sample(uint64_t id) const {
+  constexpr int kMaxAttempts = 32;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    util::Rng rng(util::Mix64(seed_ ^ util::Mix64(id * 2654435761ull + attempt)));
+    Episode episode;
+    if (TryBuild(&rng, &episode)) return episode;
+  }
+  FEWNER_CHECK(false, "could not build a " << n_way_ << "-way " << k_shot_
+                                           << "-shot episode from corpus '"
+                                           << corpus_->name << "' (id " << id << ")");
+  return Episode{};
+}
+
+}  // namespace fewner::data

@@ -1,0 +1,157 @@
+#include "data/slot_filling.h"
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fewner::data {
+
+namespace {
+
+using util::Rng;
+
+/// A template token is either a literal word or a slot placeholder.
+struct Piece {
+  const char* literal;  ///< nullptr for slot placeholders
+  const char* slot;     ///< slot type name when literal is nullptr
+};
+
+struct Template {
+  std::vector<Piece> pieces;
+};
+
+/// Slot value lexicons.  Values mix real-ish patterns (times, counts) with
+/// generated names so test-time out-of-vocabulary behaviour mirrors NER.
+std::vector<std::string> ValuesFor(const std::string& slot, Rng* rng) {
+  auto pseudo = [&](int syllables, bool capitalize) {
+    static const char* const kSyl[] = {"mo", "ra", "vel", "tin", "sor", "ba",
+                                       "lu", "ke", "dro", "fan", "mi", "sha"};
+    std::string word;
+    for (int i = 0; i < syllables; ++i) word += kSyl[rng->UniformInt(12)];
+    if (capitalize) word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    return word;
+  };
+  std::vector<std::string> values;
+  if (slot == "song" || slot == "playlist" || slot == "artist" ||
+      slot == "restaurant" || slot == "city" || slot == "airline") {
+    const bool multiword = slot == "song" || slot == "restaurant";
+    for (int i = 0; i < 18; ++i) {
+      std::string value = pseudo(2, true);
+      if (multiword && rng->Bernoulli(0.5)) value += " " + pseudo(2, true);
+      values.push_back(value);
+    }
+  } else if (slot == "time") {
+    for (int h = 1; h <= 12; ++h) {
+      values.push_back(std::to_string(h) + (h % 2 ? "pm" : "am"));
+      values.push_back(std::to_string(h) + ":30" + (h % 2 ? "am" : "pm"));
+    }
+  } else if (slot == "date") {
+    for (const char* d : {"monday", "tuesday", "wednesday", "thursday", "friday",
+                          "saturday", "sunday", "tomorrow", "tonight", "today"}) {
+      values.push_back(d);
+    }
+  } else if (slot == "count") {
+    for (int n = 1; n <= 12; ++n) values.push_back(std::to_string(n));
+  } else if (slot == "genre") {
+    for (const char* g : {"jazz", "rock", "folk", "techno", "soul", "opera",
+                          "blues", "salsa"}) {
+      values.push_back(g);
+    }
+  } else if (slot == "cuisine") {
+    for (const char* c : {"thai", "italian", "mexican", "sushi", "vegan",
+                          "barbecue", "ramen", "tapas"}) {
+      values.push_back(c);
+    }
+  } else if (slot == "duration") {
+    for (int n = 5; n <= 60; n += 5) {
+      values.push_back(std::to_string(n) + "min");
+    }
+  }
+  FEWNER_CHECK(!values.empty(), "no lexicon for slot '" << slot << "'");
+  return values;
+}
+
+std::vector<Template> Templates() {
+  auto lit = [](const char* w) { return Piece{w, nullptr}; };
+  auto slot = [](const char* s) { return Piece{nullptr, s}; };
+  return {
+      // music intent
+      {{lit("play"), slot("song"), lit("by"), slot("artist")}},
+      {{lit("add"), slot("song"), lit("to"), lit("my"), slot("playlist"),
+        lit("playlist")}},
+      {{lit("put"), lit("on"), lit("some"), slot("genre"), lit("music")}},
+      {{lit("play"), lit("the"), slot("playlist"), lit("playlist"), lit("on"),
+        lit("shuffle")}},
+      // dining intent
+      {{lit("book"), lit("a"), lit("table"), lit("at"), slot("restaurant"),
+        lit("for"), slot("count"), lit("people"), lit("at"), slot("time")}},
+      {{lit("find"), lit("me"), lit("a"), slot("cuisine"), lit("place"), lit("in"),
+        slot("city")}},
+      {{lit("reserve"), slot("restaurant"), lit("for"), slot("date"), lit("at"),
+        slot("time")}},
+      // travel intent
+      {{lit("book"), lit("a"), slot("airline"), lit("flight"), lit("to"),
+        slot("city"), lit("on"), slot("date")}},
+      {{lit("how"), lit("long"), lit("is"), lit("the"), lit("flight"), lit("to"),
+        slot("city")}},
+      // alarm intent
+      {{lit("set"), lit("an"), lit("alarm"), lit("for"), slot("time"), lit("on"),
+        slot("date")}},
+      {{lit("remind"), lit("me"), lit("in"), slot("duration"), lit("to"),
+        lit("call"), slot("artist")}},
+      {{lit("snooze"), lit("for"), slot("duration")}},
+  };
+}
+
+}  // namespace
+
+Corpus GenerateSlotFillingCorpus(const SlotFillingSpec& spec) {
+  Corpus corpus;
+  corpus.name = "slot-filling";
+  corpus.genre = "dialogue";
+  corpus.entity_types = {"song",  "artist",  "playlist",   "genre",
+                         "restaurant", "cuisine", "city", "airline",
+                         "time",  "date",    "count",      "duration"};
+
+  Rng rng(spec.seed);
+  std::vector<std::vector<std::string>> lexicons;
+  for (const auto& slot : corpus.entity_types) {
+    Rng lexicon_rng = rng.Fork(util::HashString("slot:" + slot));
+    lexicons.push_back(ValuesFor(slot, &lexicon_rng));
+  }
+  auto lexicon_of = [&](const std::string& slot) -> const std::vector<std::string>& {
+    for (size_t i = 0; i < corpus.entity_types.size(); ++i) {
+      if (corpus.entity_types[i] == slot) return lexicons[i];
+    }
+    FEWNER_CHECK(false, "unknown slot '" << slot << "'");
+    return lexicons[0];
+  };
+
+  const std::vector<Template> templates = Templates();
+  for (int64_t u = 0; u < spec.num_utterances; ++u) {
+    const Template& tpl = templates[rng.UniformInt(templates.size())];
+    Sentence sentence;
+    for (const Piece& piece : tpl.pieces) {
+      if (piece.literal != nullptr) {
+        sentence.tokens.push_back(piece.literal);
+        continue;
+      }
+      const auto& lexicon = lexicon_of(piece.slot);
+      const std::string& value = lexicon[rng.UniformInt(lexicon.size())];
+      const int64_t start = static_cast<int64_t>(sentence.tokens.size());
+      size_t begin = 0;
+      while (begin <= value.size()) {
+        const size_t space = value.find(' ', begin);
+        const size_t end = (space == std::string::npos) ? value.size() : space;
+        sentence.tokens.push_back(value.substr(begin, end - begin));
+        begin = end + 1;
+        if (space == std::string::npos) break;
+      }
+      sentence.entities.push_back(text::Span{
+          start, static_cast<int64_t>(sentence.tokens.size()), piece.slot});
+    }
+    corpus.sentences.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace fewner::data

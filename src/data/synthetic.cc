@@ -1,0 +1,446 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace fewner::data {
+
+namespace {
+
+using util::Rng;
+
+// ----- pseudo-word machinery -----
+
+const char* const kOnsets[] = {"b",  "br", "c",  "ch", "d",  "dr", "f",  "g",
+                               "gr", "h",  "j",  "k",  "l",  "m",  "n",  "p",
+                               "pr", "r",  "s",  "st", "t",  "tr", "v",  "w"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+const char* const kCodas[] = {"", "n", "r", "l", "s", "t", "m", "ck"};
+
+std::string Syllable(Rng* rng) {
+  std::string s = kOnsets[rng->UniformInt(sizeof(kOnsets) / sizeof(kOnsets[0]))];
+  s += kVowels[rng->UniformInt(sizeof(kVowels) / sizeof(kVowels[0]))];
+  s += kCodas[rng->UniformInt(sizeof(kCodas) / sizeof(kCodas[0]))];
+  return s;
+}
+
+std::string PseudoWord(Rng* rng, int64_t min_syllables, int64_t max_syllables) {
+  const int64_t n =
+      min_syllables + static_cast<int64_t>(rng->UniformInt(
+                          static_cast<uint64_t>(max_syllables - min_syllables + 1)));
+  std::string word;
+  for (int64_t i = 0; i < n; ++i) word += Syllable(rng);
+  return word;
+}
+
+std::string Capitalize(std::string word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+  return word;
+}
+
+// ----- trigger lexicons (fixed, shared world knowledge) -----
+
+const std::vector<std::string>& PreTriggerPool(TriggerFamily family) {
+  static const std::vector<std::string> person = {"Mr.",       "Mrs.",    "Dr.",
+                                                  "President", "Senator", "coach",
+                                                  "spokesman", "actor"};
+  static const std::vector<std::string> org = {"the",     "rival",  "giant",
+                                               "company", "agency", "firm"};
+  static const std::vector<std::string> loc = {"in",   "at",     "near",
+                                               "from", "across", "outside"};
+  static const std::vector<std::string> bio = {"expression", "activation", "binding",
+                                               "levels",     "induction",  "pathway"};
+  static const std::vector<std::string> clinical = {"diagnosed", "chronic", "acute",
+                                                    "severe",    "patients", "treated"};
+  static const std::vector<std::string> work = {"painting", "film",  "novel",
+                                                "album",    "opera", "series"};
+  static const std::vector<std::string> product = {"new",     "flagship", "model",
+                                                   "popular", "latest",   "branded"};
+  static const std::vector<std::string> event = {"during", "after", "before",
+                                                 "amid",   "since", "following"};
+  switch (family) {
+    case TriggerFamily::kPerson:
+      return person;
+    case TriggerFamily::kOrganization:
+      return org;
+    case TriggerFamily::kLocation:
+      return loc;
+    case TriggerFamily::kBioProcess:
+      return bio;
+    case TriggerFamily::kClinical:
+      return clinical;
+    case TriggerFamily::kWork:
+      return work;
+    case TriggerFamily::kProduct:
+      return product;
+    case TriggerFamily::kEvent:
+      return event;
+  }
+  return person;
+}
+
+const std::vector<std::string>& PostTriggerPool(TriggerFamily family) {
+  static const std::vector<std::string> person = {"said",  "told",    "argued",
+                                                  "added", "claimed", "resigned"};
+  static const std::vector<std::string> org = {"announced", "reported", "shares",
+                                               "officials", "employees", "filed"};
+  static const std::vector<std::string> loc = {"region",   "area",    "border",
+                                               "province", "streets", "residents"};
+  static const std::vector<std::string> bio = {"protein",  "receptor", "cells",
+                                               "promoter", "gene",     "complex"};
+  static const std::vector<std::string> clinical = {"symptoms", "tumor", "tissue",
+                                                    "therapy",  "cases", "lesions"};
+  static const std::vector<std::string> work = {"premiered", "sold",    "exhibited",
+                                                "depicts",   "missing", "restored"};
+  static const std::vector<std::string> product = {"launched", "sales",   "recall",
+                                                   "units",    "upgrade", "review"};
+  static const std::vector<std::string> event = {"began",   "ended",    "erupted",
+                                                 "victims", "aftermath", "anniversary"};
+  switch (family) {
+    case TriggerFamily::kPerson:
+      return person;
+    case TriggerFamily::kOrganization:
+      return org;
+    case TriggerFamily::kLocation:
+      return loc;
+    case TriggerFamily::kBioProcess:
+      return bio;
+    case TriggerFamily::kClinical:
+      return clinical;
+    case TriggerFamily::kWork:
+      return work;
+    case TriggerFamily::kProduct:
+      return product;
+    case TriggerFamily::kEvent:
+      return event;
+  }
+  return person;
+}
+
+const char* FamilyPrefix(TriggerFamily family) {
+  switch (family) {
+    case TriggerFamily::kPerson:
+      return "Person";
+    case TriggerFamily::kOrganization:
+      return "Organization";
+    case TriggerFamily::kLocation:
+      return "Location";
+    case TriggerFamily::kBioProcess:
+      return "BioProcess";
+    case TriggerFamily::kClinical:
+      return "Clinical";
+    case TriggerFamily::kWork:
+      return "Work";
+    case TriggerFamily::kProduct:
+      return "Product";
+    case TriggerFamily::kEvent:
+      return "Event";
+  }
+  return "Type";
+}
+
+// ----- surface-form generation per morphology -----
+
+const std::vector<std::string>& SuffixPool(Morphology morphology) {
+  static const std::vector<std::string> org = {"Corp", "Inc", "Group", "Systems",
+                                               "Association", "Industries"};
+  static const std::vector<std::string> place = {"ville", "ton", "burg",
+                                                 "land",  "port", "field"};
+  static const std::vector<std::string> bio = {"ase", "in", "ol", "ide", "gen", "one"};
+  static const std::vector<std::string> disease = {"oma", "itis", "osis", "emia",
+                                                   "pathy", "plasia"};
+  static const std::vector<std::string> none = {};
+  switch (morphology) {
+    case Morphology::kOrgWithSuffix:
+      return org;
+    case Morphology::kPlaceWithSuffix:
+      return place;
+    case Morphology::kBioSuffix:
+      return bio;
+    case Morphology::kDiseasePhrase:
+      return disease;
+    default:
+      return none;
+  }
+}
+
+/// Picks `count` items from a pool (with replacement-free sampling when
+/// possible) — used to give each type a distinctive trigger/suffix subset.
+std::vector<std::string> Subset(const std::vector<std::string>& pool, size_t count,
+                                Rng* rng) {
+  std::vector<std::string> items = pool;
+  rng->Shuffle(&items);
+  if (items.size() > count) items.resize(count);
+  return items;
+}
+
+std::string MakeSurfaceForm(Morphology morphology,
+                            const std::vector<std::string>& type_suffixes, Rng* rng) {
+  auto suffix = [&]() -> std::string {
+    if (type_suffixes.empty()) return "";
+    return type_suffixes[rng->UniformInt(type_suffixes.size())];
+  };
+  switch (morphology) {
+    case Morphology::kCapitalizedName:
+      return Capitalize(PseudoWord(rng, 2, 3));
+    case Morphology::kFullName:
+      return Capitalize(PseudoWord(rng, 2, 2)) + " " + Capitalize(PseudoWord(rng, 2, 3));
+    case Morphology::kOrgWithSuffix:
+      return Capitalize(PseudoWord(rng, 2, 3)) + " " + suffix();
+    case Morphology::kAcronym: {
+      const int64_t n = 2 + static_cast<int64_t>(rng->UniformInt(3));
+      std::string s;
+      for (int64_t i = 0; i < n; ++i) {
+        s += static_cast<char>('A' + rng->UniformInt(26));
+      }
+      return s;
+    }
+    case Morphology::kPlaceWithSuffix:
+      return Capitalize(PseudoWord(rng, 1, 2) + suffix());
+    case Morphology::kBioSuffix:
+      return PseudoWord(rng, 2, 3) + suffix();
+    case Morphology::kAlnumId: {
+      std::string s(1, static_cast<char>(rng->Bernoulli(0.5) ? 'a' + rng->UniformInt(26)
+                                                             : 'A' + rng->UniformInt(26)));
+      if (rng->Bernoulli(0.4)) s += static_cast<char>('A' + rng->UniformInt(26));
+      if (rng->Bernoulli(0.5)) s += '-';
+      s += std::to_string(1 + rng->UniformInt(99));
+      return s;
+    }
+    case Morphology::kDiseasePhrase: {
+      std::string head = PseudoWord(rng, 1, 2) + suffix();
+      if (rng->Bernoulli(0.5)) return PseudoWord(rng, 2, 2) + " " + head;
+      return head;
+    }
+    case Morphology::kTitledWork: {
+      static const char* const kLinkers[] = {"Of", "The", "And"};
+      std::string s = Capitalize(PseudoWord(rng, 1, 2));
+      const int64_t extra = 1 + static_cast<int64_t>(rng->UniformInt(2));
+      for (int64_t i = 0; i < extra; ++i) {
+        s += " ";
+        s += kLinkers[rng->UniformInt(3)];
+        s += " " + Capitalize(PseudoWord(rng, 1, 2));
+      }
+      return s;
+    }
+    case Morphology::kCodedProduct:
+      return Capitalize(PseudoWord(rng, 2, 2)) + " " +
+             std::string(1, static_cast<char>('A' + rng->UniformInt(26))) +
+             std::to_string(100 + rng->UniformInt(900));
+  }
+  return Capitalize(PseudoWord(rng, 2, 3));
+}
+
+/// (morphology, trigger family) combinations available per genre.  Newswire
+/// types are morphologically diverse; medical types share few patterns, making
+/// them more confusable — the paper's "medical few-shot NER is harder".
+std::vector<std::pair<Morphology, TriggerFamily>> GenreCombos(const std::string& genre) {
+  using M = Morphology;
+  using F = TriggerFamily;
+  const std::vector<std::pair<M, F>> newswire = {
+      {M::kCapitalizedName, F::kPerson}, {M::kFullName, F::kPerson},
+      {M::kOrgWithSuffix, F::kOrganization}, {M::kAcronym, F::kOrganization},
+      {M::kPlaceWithSuffix, F::kLocation}, {M::kTitledWork, F::kWork},
+      {M::kCodedProduct, F::kProduct}, {M::kAcronym, F::kEvent},
+      {M::kFullName, F::kEvent}};
+  const std::vector<std::pair<M, F>> medical = {
+      {M::kBioSuffix, F::kBioProcess}, {M::kAlnumId, F::kBioProcess},
+      {M::kAcronym, F::kBioProcess},   {M::kBioSuffix, F::kClinical},
+      {M::kAlnumId, F::kClinical},     {M::kDiseasePhrase, F::kClinical}};
+  if (genre == "newswire") return newswire;
+  if (genre == "medical") return medical;
+  std::vector<std::pair<M, F>> various = newswire;
+  various.insert(various.end(), medical.begin(), medical.end());
+  return various;
+}
+
+// ----- filler vocabulary -----
+
+std::vector<std::string> MakeFillerPool(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  for (size_t i = 0; i < count; ++i) pool.push_back(PseudoWord(&rng, 1, 3));
+  return pool;
+}
+
+/// Function words shared by every domain (keeps sentences language-like and
+/// gives all corpora a common backbone vocabulary).
+const std::vector<std::string>& FunctionWords() {
+  static const std::vector<std::string> words = {
+      "the", "a",  "of",   "to",   "and", "was", "were", "has",  "have", "that",
+      "for", "on", "with", "will", "is",  "are", "be",   "this", "its",  "by"};
+  return words;
+}
+
+const std::vector<std::string>& StyleMarkers(int64_t style) {
+  static const std::vector<std::string> written = {"meanwhile", "however", "reportedly",
+                                                   "officials", "according"};
+  static const std::vector<std::string> speech = {"well", "yeah", "um", "okay",
+                                                  "right", "you", "know"};
+  static const std::vector<std::string> forum = {"lol", "btw", "imo", "thread",
+                                                 "posted", "repost"};
+  if (style == 1) return speech;
+  if (style == 2) return forum;
+  return written;
+}
+
+/// The per-domain filler lexicon mixes a globally shared pool with a
+/// domain-private pool; the mixing fraction is the domain-distance knob.
+std::vector<std::string> DomainFillerLexicon(const DomainStyle& style) {
+  static const uint64_t kSharedSeed = 0x5AFE5EEDull;
+  const std::vector<std::string> shared = MakeFillerPool(kSharedSeed, 600);
+  const std::vector<std::string> domain_private =
+      MakeFillerPool(util::Mix64(style.vocab_seed + 0xD0A1Aull), 600);
+  Rng rng(util::Mix64(style.vocab_seed + 0xF111ull));
+  std::vector<std::string> lexicon;
+  const size_t total = 400;
+  for (size_t i = 0; i < total; ++i) {
+    const bool from_shared = rng.Bernoulli(style.shared_vocab_fraction);
+    const auto& source = from_shared ? shared : domain_private;
+    lexicon.push_back(source[rng.UniformInt(source.size())]);
+  }
+  return lexicon;
+}
+
+}  // namespace
+
+std::vector<EntityTypeSpec> GenerateTypes(const SyntheticSpec& spec) {
+  const auto combos = GenreCombos(spec.genre);
+  std::vector<EntityTypeSpec> types;
+  types.reserve(static_cast<size_t>(spec.num_types));
+  for (int64_t i = 0; i < spec.num_types; ++i) {
+    // Types are keyed by their global id so distinct datasets (distinct pool
+    // offsets) have distinct lexicons, while a dataset regenerates exactly.
+    const uint64_t type_key =
+        util::Mix64(0x7E57ull + static_cast<uint64_t>(spec.type_pool_offset + i));
+    Rng rng(type_key);
+    const auto& [morphology, family] = combos[rng.UniformInt(combos.size())];
+
+    EntityTypeSpec type;
+    type.name = std::string(FamilyPrefix(family)) +
+                std::to_string(spec.type_pool_offset + i);
+    type.morphology = morphology;
+    type.trigger_family = family;
+
+    // Each type gets a distinctive subset of its pattern's suffixes and its
+    // family's triggers, so support examples identify the type within a task.
+    const std::vector<std::string> suffixes = Subset(SuffixPool(morphology), 2, &rng);
+    type.pre_triggers = Subset(PreTriggerPool(family), 2, &rng);
+    type.post_triggers = Subset(PostTriggerPool(family), 3, &rng);
+    // Real triggers are often type-revealing ("Inc.", "Sen.", "-itis
+    // patients"): give each type two unique trigger lexemes alongside the
+    // ambiguous family-shared ones.  This is the 1-shot binding signal that
+    // support examples expose.
+    type.pre_triggers.push_back(PseudoWord(&rng, 2, 2) + "an");
+    type.pre_triggers.push_back(PseudoWord(&rng, 1, 2) + "ic");
+
+    // Small gazetteers make surface forms recur between support and query —
+    // the lexical-memorization path real NER exhibits ("U.S." repeats).
+    const int64_t gazetteer_size = 16;
+    for (int64_t g = 0; g < gazetteer_size; ++g) {
+      type.gazetteer.push_back(MakeSurfaceForm(morphology, suffixes, &rng));
+    }
+    types.push_back(std::move(type));
+  }
+  return types;
+}
+
+Corpus GenerateCorpus(const SyntheticSpec& spec) {
+  FEWNER_CHECK(!spec.domains.empty(), "spec needs at least one domain");
+  Corpus corpus;
+  corpus.name = spec.name;
+  corpus.genre = spec.genre;
+  const std::vector<EntityTypeSpec> types = GenerateTypes(spec);
+  for (const auto& t : types) corpus.entity_types.push_back(t.name);
+
+  const int64_t per_domain =
+      spec.num_sentences / static_cast<int64_t>(spec.domains.size());
+
+  for (const DomainStyle& domain : spec.domains) {
+    const std::vector<std::string> fillers = DomainFillerLexicon(domain);
+    const auto& function_words = FunctionWords();
+    const auto& markers = StyleMarkers(domain.template_style);
+    Rng rng(util::Mix64(spec.seed ^ util::HashString("domain:" + domain.name)));
+
+    for (int64_t s = 0; s < per_domain; ++s) {
+      Sentence sentence;
+      sentence.domain = domain.name;
+
+      auto add_filler = [&](int64_t count) {
+        for (int64_t i = 0; i < count; ++i) {
+          const double u = rng.Uniform();
+          if (u < 0.35) {
+            sentence.tokens.push_back(
+                function_words[rng.UniformInt(function_words.size())]);
+          } else if (u < 0.45) {
+            sentence.tokens.push_back(markers[rng.UniformInt(markers.size())]);
+          } else {
+            sentence.tokens.push_back(fillers[rng.UniformInt(fillers.size())]);
+          }
+        }
+      };
+
+      // Mention count per sentence: rounded Gaussian around the target mean.
+      int64_t mentions = static_cast<int64_t>(
+          std::llround(rng.Gaussian(spec.mentions_per_sentence, 1.0)));
+      mentions = std::max<int64_t>(1, std::min<int64_t>(6, mentions));
+
+      add_filler(1 + static_cast<int64_t>(rng.UniformInt(2)));
+      for (int64_t m = 0; m < mentions; ++m) {
+        const EntityTypeSpec& type = types[rng.UniformInt(types.size())];
+        const bool with_trigger = rng.Bernoulli(domain.trigger_probability);
+        // Pre-triggers hug the mention (as titles/determiners do in real
+        // text); they are the main few-shot context signal.
+        if (with_trigger && !type.pre_triggers.empty() && rng.Bernoulli(0.9)) {
+          sentence.tokens.push_back(
+              type.pre_triggers[rng.UniformInt(type.pre_triggers.size())]);
+        }
+        const std::string& surface =
+            type.gazetteer[rng.UniformInt(type.gazetteer.size())];
+        const int64_t start = static_cast<int64_t>(sentence.tokens.size());
+        size_t begin = 0;
+        while (begin <= surface.size()) {
+          const size_t space = surface.find(' ', begin);
+          const size_t end = (space == std::string::npos) ? surface.size() : space;
+          sentence.tokens.push_back(surface.substr(begin, end - begin));
+          begin = end + 1;
+          if (space == std::string::npos) break;
+        }
+        const int64_t finish = static_cast<int64_t>(sentence.tokens.size());
+        sentence.entities.push_back(text::Span{start, finish, type.name});
+        if (with_trigger && !type.post_triggers.empty() && rng.Bernoulli(0.5)) {
+          sentence.tokens.push_back(
+              type.post_triggers[rng.UniformInt(type.post_triggers.size())]);
+        }
+        add_filler(1 + static_cast<int64_t>(rng.UniformInt(2)));
+      }
+      sentence.tokens.push_back(".");
+      corpus.sentences.push_back(std::move(sentence));
+    }
+  }
+  return corpus;
+}
+
+std::vector<std::vector<std::string>> GenerateUnlabeledText(int64_t num_sentences,
+                                                            uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "unlabeled";
+  spec.genre = "various";
+  spec.num_types = 40;
+  spec.num_sentences = num_sentences;
+  spec.mentions_per_sentence = 2.0;
+  spec.seed = seed;
+  spec.type_pool_offset = 900000;  // disjoint from every labeled dataset
+  Corpus corpus = GenerateCorpus(spec);
+  std::vector<std::vector<std::string>> text;
+  text.reserve(corpus.sentences.size());
+  for (auto& s : corpus.sentences) text.push_back(std::move(s.tokens));
+  return text;
+}
+
+}  // namespace fewner::data

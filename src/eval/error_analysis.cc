@@ -1,0 +1,89 @@
+#include "eval/error_analysis.h"
+
+#include <sstream>
+
+namespace fewner::eval {
+
+std::string ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kCorrect:
+      return "correct";
+    case ErrorKind::kBoundary:
+      return "boundary";
+    case ErrorKind::kType:
+      return "type";
+    case ErrorKind::kSpurious:
+      return "spurious";
+    case ErrorKind::kMissed:
+      return "missed";
+  }
+  return "?";
+}
+
+namespace {
+bool Overlaps(const text::Span& a, const text::Span& b) {
+  return a.start < b.end && b.start < a.end;
+}
+}  // namespace
+
+std::vector<SpanOutcome> ClassifySpans(const std::vector<text::Span>& gold,
+                                       const std::vector<text::Span>& predicted) {
+  std::vector<SpanOutcome> outcomes;
+  for (const text::Span& p : predicted) {
+    ErrorKind kind = ErrorKind::kSpurious;
+    for (const text::Span& g : gold) {
+      if (p == g) {
+        kind = ErrorKind::kCorrect;
+        break;
+      }
+      if (p.start == g.start && p.end == g.end) {
+        kind = ErrorKind::kType;  // exact extent, different label
+      } else if (kind == ErrorKind::kSpurious && Overlaps(p, g) &&
+                 p.label == g.label) {
+        kind = ErrorKind::kBoundary;
+      }
+    }
+    outcomes.push_back({p, kind});
+  }
+  for (const text::Span& g : gold) {
+    bool touched = false;
+    for (const text::Span& p : predicted) touched = touched || Overlaps(p, g);
+    if (!touched) outcomes.push_back({g, ErrorKind::kMissed});
+  }
+  return outcomes;
+}
+
+void AccumulateErrors(const std::vector<int64_t>& gold_tags,
+                      const std::vector<int64_t>& predicted_tags,
+                      ErrorProfile* profile) {
+  const auto outcomes = ClassifySpans(text::TagsToSpans(gold_tags),
+                                      text::TagsToSpans(predicted_tags));
+  for (const SpanOutcome& outcome : outcomes) {
+    switch (outcome.kind) {
+      case ErrorKind::kCorrect:
+        ++profile->correct;
+        break;
+      case ErrorKind::kBoundary:
+        ++profile->boundary;
+        break;
+      case ErrorKind::kType:
+        ++profile->type;
+        break;
+      case ErrorKind::kSpurious:
+        ++profile->spurious;
+        break;
+      case ErrorKind::kMissed:
+        ++profile->missed;
+        break;
+    }
+  }
+}
+
+std::string ErrorProfile::ToString() const {
+  std::ostringstream oss;
+  oss << "correct " << correct << " | boundary " << boundary << " | type " << type
+      << " | spurious " << spurious << " | missed " << missed;
+  return oss.str();
+}
+
+}  // namespace fewner::eval

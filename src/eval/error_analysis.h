@@ -1,0 +1,59 @@
+// Error taxonomy for qualitative analysis (paper §4.5.3): the paper's
+// discussion distinguishes missed entities, wrongly detected boundaries, and
+// wrong types.  This module classifies every prediction/gold mismatch into
+// that taxonomy so Table-6-style dumps can be aggregated quantitatively.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/bio.h"
+
+namespace fewner::eval {
+
+/// Categories of disagreement between predicted and gold spans.
+enum class ErrorKind {
+  kCorrect,       ///< exact span and label match
+  kBoundary,      ///< overlaps a gold span of the same label, wrong extent
+  kType,          ///< exact span of a gold mention, wrong label
+  kSpurious,      ///< prediction with no overlapping gold span
+  kMissed,        ///< gold span with no overlapping prediction
+};
+
+/// Human-readable name of an error kind.
+std::string ErrorKindName(ErrorKind kind);
+
+/// One classified span-level outcome.
+struct SpanOutcome {
+  text::Span span;
+  ErrorKind kind;
+};
+
+/// Aggregated error profile over one or more sentences.
+struct ErrorProfile {
+  int64_t correct = 0;
+  int64_t boundary = 0;
+  int64_t type = 0;
+  int64_t spurious = 0;
+  int64_t missed = 0;
+
+  int64_t total_errors() const { return boundary + type + spurious + missed; }
+
+  /// Renders "correct 3 | boundary 1 | type 0 | spurious 2 | missed 1".
+  std::string ToString() const;
+};
+
+/// Classifies predicted spans against gold spans, and gold spans against
+/// predictions (for kMissed).  Predicted outcomes come first, then missed
+/// gold spans.
+std::vector<SpanOutcome> ClassifySpans(const std::vector<text::Span>& gold,
+                                       const std::vector<text::Span>& predicted);
+
+/// Accumulates a profile from (gold tags, predicted tags) of one sentence.
+void AccumulateErrors(const std::vector<int64_t>& gold_tags,
+                      const std::vector<int64_t>& predicted_tags,
+                      ErrorProfile* profile);
+
+}  // namespace fewner::eval

@@ -1,0 +1,33 @@
+#include "eval/model_selection.h"
+
+#include "util/status.h"
+
+namespace fewner::eval {
+
+BestSnapshotTracker::BestSnapshotTracker(nn::Module* module,
+                                         std::function<double()> scorer)
+    : module_(module), scorer_(std::move(scorer)) {
+  FEWNER_CHECK(module_ != nullptr, "BestSnapshotTracker requires a module");
+  FEWNER_CHECK(static_cast<bool>(scorer_), "BestSnapshotTracker requires a scorer");
+}
+
+std::function<void(int64_t)> BestSnapshotTracker::Callback() {
+  return [this](int64_t iteration) {
+    const double score = scorer_();
+    ++evaluations_;
+    if (score > best_score_) {
+      best_score_ = score;
+      best_iteration_ = iteration;
+      best_values_ = nn::SnapshotParameterValues(module_);
+    }
+  };
+}
+
+double BestSnapshotTracker::RestoreBest() {
+  if (!best_values_.empty()) {
+    nn::RestoreParameterValues(module_, best_values_);
+  }
+  return best_score_;
+}
+
+}  // namespace fewner::eval

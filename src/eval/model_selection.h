@@ -1,0 +1,52 @@
+// Validation-based model selection.
+//
+// The paper's splits include a validation partition (§4.2.1: 10 NNE types, 15
+// FG-NER types, 8 GENIA types) used for hyper-parameter/model selection.  This
+// utility implements the standard pattern on top of TrainConfig's iteration
+// callback: periodically evaluate on validation episodes and keep a snapshot
+// of the best-scoring parameters, restored after training.
+//
+//   eval::BestSnapshotTracker tracker(module, [&] { return ValF1(); });
+//   train_config.callback_every = 20;
+//   train_config.iteration_callback = tracker.Callback();
+//   method.Train(...);
+//   tracker.RestoreBest();   // θ_Meta with the best validation score
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fewner::eval {
+
+/// Keeps the parameter snapshot with the best validation score.
+class BestSnapshotTracker {
+ public:
+  /// `scorer` computes the current validation score (higher is better); it is
+  /// invoked from the training callback, so it must not disturb training
+  /// state (evaluate with training mode off and restore it).
+  BestSnapshotTracker(nn::Module* module, std::function<double()> scorer);
+
+  /// The callback to install as TrainConfig::iteration_callback.
+  std::function<void(int64_t)> Callback();
+
+  /// Restores the best snapshot into the module (no-op if never evaluated).
+  /// Returns the best score seen.
+  double RestoreBest();
+
+  double best_score() const { return best_score_; }
+  int64_t best_iteration() const { return best_iteration_; }
+  int64_t evaluations() const { return evaluations_; }
+
+ private:
+  nn::Module* module_;
+  std::function<double()> scorer_;
+  std::vector<std::vector<float>> best_values_;
+  double best_score_ = -1.0;
+  int64_t best_iteration_ = -1;
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace fewner::eval

@@ -1,0 +1,39 @@
+// Table rendering in the paper's format: "23.74 ± 0.65%".
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/statistics.h"
+
+namespace fewner::eval {
+
+/// Formats a summary (scores in [0, 1]) as a percentage cell.
+std::string FormatCell(const ScoreSummary& summary);
+
+/// Simple fixed-width table for console output.
+class Table {
+ public:
+  /// First column is the row label ("Methods"), others are result columns.
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a full-width section label (the paper's group separators, e.g.
+  /// "Static Token Representation: GloVe + CNN").
+  void AddSection(std::string label);
+
+  std::string Render() const;
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string section;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fewner::eval

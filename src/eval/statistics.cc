@@ -1,0 +1,22 @@
+#include "eval/statistics.h"
+
+#include <cmath>
+
+namespace fewner::eval {
+
+ScoreSummary Summarize(const std::vector<double>& scores) {
+  ScoreSummary summary;
+  summary.count = static_cast<int64_t>(scores.size());
+  if (scores.empty()) return summary;
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  summary.mean = sum / static_cast<double>(scores.size());
+  double sq = 0.0;
+  for (double s : scores) sq += (s - summary.mean) * (s - summary.mean);
+  summary.stddev = std::sqrt(sq / static_cast<double>(scores.size()));
+  summary.ci95 =
+      1.96 * summary.stddev / std::sqrt(static_cast<double>(scores.size()));
+  return summary;
+}
+
+}  // namespace fewner::eval

@@ -1,0 +1,22 @@
+// Aggregate statistics for episode-level F1 scores (paper §4.1.1: mean with a
+// 95% confidence interval of ±1.96·σ/√n over evaluation episodes).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fewner::eval {
+
+/// Summary of per-episode scores.
+struct ScoreSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n)
+  int64_t count = 0;
+};
+
+/// Computes mean / stddev (population) / 95% CI half-width.
+ScoreSummary Summarize(const std::vector<double>& scores);
+
+}  // namespace fewner::eval

@@ -1,0 +1,118 @@
+#include "meta/fewner.h"
+
+#include <cmath>
+
+#include "meta/grad_accumulator.h"
+
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Tensor;
+
+Fewner::Fewner(const models::BackboneConfig& config, util::Rng* rng)
+    : rng_(rng->Fork(0xFE47ull)) {
+  FEWNER_CHECK(config.conditioning != models::Conditioning::kNone,
+               "FEWNER requires context-parameter conditioning");
+  FEWNER_CHECK(config.context_dim > 0, "FEWNER requires context_dim > 0");
+  util::Rng init_rng = rng->Fork(0x1417ull);
+  backbone_ = std::make_unique<models::Backbone>(config, &init_rng);
+}
+
+Tensor Fewner::AdaptContext(const std::vector<models::EncodedSentence>& support,
+                            const std::vector<bool>& valid_tags, int64_t steps,
+                            float inner_lr, bool create_graph) const {
+  // φ starts at zero for every task (paper §3.2.4).
+  Tensor phi = backbone_->ZeroContext();
+  for (int64_t k = 0; k < steps; ++k) {
+    Tensor loss = backbone_->BatchLoss(support, phi, valid_tags);
+    // Eq. 5: gradient w.r.t. the previous φ only — θ stays fixed here, but
+    // with create_graph the inner gradient keeps its dependence on θ, which
+    // is what the outer update differentiates through.
+    Tensor grad = tensor::autodiff::Grad(loss, {phi}, create_graph)[0];
+    // Detached global-norm cap (paper's clip of 5.0) keeps the summed task
+    // loss from producing destabilizing inner steps.
+    double norm_sq = 0.0;
+    for (float v : grad.data()) norm_sq += static_cast<double>(v) * v;
+    const float norm = static_cast<float>(std::sqrt(norm_sq));
+    const float clip_scale = norm > 5.0f ? 5.0f / norm : 1.0f;
+    phi = tensor::Sub(phi, tensor::MulScalar(grad, inner_lr * clip_scale));
+    if (!create_graph) {
+      // Cheap test-time path: re-leaf φ so graphs do not accumulate.
+      Tensor leaf = phi.Detach();
+      leaf.set_requires_grad(true);
+      phi = leaf;
+    }
+  }
+  return phi;
+}
+
+void Fewner::Train(const data::EpisodeSampler& sampler,
+                   const models::EpisodeEncoder& encoder, const TrainConfig& config) {
+  test_inner_steps_ = config.inner_steps_test;
+  inner_lr_ = config.inner_lr;
+  backbone_->SetTraining(true);
+
+  std::vector<tensor::Tensor*> slots = backbone_->Parameters();
+  nn::Adam optimizer(slots, config.meta_lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  int64_t tasks_seen = 0;
+  uint64_t episode_id = 0;
+
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    GradAccumulator accumulator(params);
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < config.meta_batch; ++b) {
+      data::Episode episode = sampler.Sample(episode_id++);
+      // Bound training cost: use a few query sentences per task.
+      BoundTrainingEpisode(config, &episode);
+      FEWNER_CHECK(!episode.support.empty() && !episode.query.empty(),
+                   "degenerate training episode");
+      models::EncodedEpisode enc = encoder.Encode(episode);
+
+      Tensor phi = AdaptContext(enc.support, enc.valid_tags,
+                                config.inner_steps_train, config.inner_lr,
+                                /*create_graph=*/!config.first_order);
+      // Eq. 6: meta-gradient through the inner updates (second order).  Each
+      // task backpropagates separately; summed gradients equal the gradient of
+      // the summed loss, at a fraction of the peak memory.
+      Tensor query_loss = backbone_->BatchLoss(enc.query, phi, enc.valid_tags);
+      accumulator.Add(tensor::autodiff::Grad(query_loss, params));
+      loss_sum += query_loss.item();
+      ++tasks_seen;
+    }
+    std::vector<Tensor> grads =
+        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+    nn::ClipGradNorm(&grads, config.grad_clip);
+    optimizer.Step(grads);
+    if (tasks_seen / config.lr_decay_every !=
+        (tasks_seen - config.meta_batch) / config.lr_decay_every) {
+      optimizer.DecayLr(config.lr_decay);
+    }
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " query loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
+    }
+  }
+  backbone_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> Fewner::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  backbone_->SetTraining(false);
+  // θ_Meta stays fixed; only φ adapts (Algorithm 1, adapting procedure).
+  Tensor phi = AdaptContext(episode.support, episode.valid_tags, test_inner_steps_,
+                            inner_lr_, /*create_graph=*/false);
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    predictions.push_back(backbone_->Decode(sentence, phi, episode.valid_tags));
+  }
+  return predictions;
+}
+
+}  // namespace fewner::meta

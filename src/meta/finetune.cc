@@ -1,0 +1,72 @@
+#include "meta/finetune.h"
+
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Tensor;
+
+FineTune::FineTune(const models::BackboneConfig& config, util::Rng* rng) {
+  models::BackboneConfig plain = config;
+  plain.conditioning = models::Conditioning::kNone;
+  plain.context_dim = 0;
+  util::Rng init_rng = rng->Fork(0xF17Eull);
+  backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
+}
+
+void FineTune::Train(const data::EpisodeSampler& sampler,
+                     const models::EpisodeEncoder& encoder,
+                     const TrainConfig& config) {
+  test_steps_ = config.inner_steps_test;
+  finetune_lr_ = config.inner_lr;
+  backbone_->SetTraining(true);
+  nn::Adam optimizer(backbone_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  uint64_t episode_id = 0;
+  // Conventional supervised training: each training task's support set is one
+  // mini-batch; no inner/outer split, no query usage.
+  const int64_t updates = config.iterations * config.meta_batch;
+  for (int64_t step = 0; step < updates; ++step) {
+    data::Episode episode = sampler.Sample(episode_id++);
+    BoundTrainingEpisode(config, &episode);
+    models::EncodedEpisode enc = encoder.Encode(episode);
+    Tensor loss = backbone_->BatchLoss(enc.support, Tensor(), enc.valid_tags);
+    std::vector<Tensor> grads =
+        tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
+    nn::ClipGradNorm(&grads, config.grad_clip);
+    optimizer.Step(grads);
+    if (config.verbose && step % 50 == 0) {
+      FEWNER_LOG(INFO) << name() << " step " << step << " loss " << loss.item();
+    }
+  }
+  backbone_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> FineTune::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  backbone_->SetTraining(false);
+  // Fine-tune the whole network on the support set, then restore afterwards so
+  // evaluation episodes stay independent.
+  std::vector<std::vector<float>> snapshot =
+      nn::SnapshotParameterValues(backbone_.get());
+  nn::Sgd sgd(backbone_->Parameters(), finetune_lr_);
+  for (int64_t step = 0; step < test_steps_; ++step) {
+    Tensor loss = backbone_->BatchLoss(episode.support, Tensor(), episode.valid_tags);
+    std::vector<Tensor> grads =
+        tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
+    nn::ClipGradNorm(&grads, 5.0f);
+    sgd.Step(grads);
+  }
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    predictions.push_back(backbone_->Decode(sentence, Tensor(), episode.valid_tags));
+  }
+  nn::RestoreParameterValues(backbone_.get(), snapshot);
+  return predictions;
+}
+
+}  // namespace fewner::meta

@@ -1,0 +1,38 @@
+// FineTune baseline (paper §4.1.2): the CNN-BiGRU-CRF backbone trained
+// conventionally on the support sets of training tasks, with no adaptation
+// strategy beyond plain fine-tuning on a test task's support set.  This is the
+// floor every meta-learning method is compared against.
+
+#pragma once
+
+#include <memory>
+
+#include "meta/method.h"
+#include "models/backbone.h"
+#include "util/rng.h"
+
+namespace fewner::meta {
+
+/// Conventional train-then-fine-tune baseline.
+class FineTune : public FewShotMethod {
+ public:
+  FineTune(const models::BackboneConfig& config, util::Rng* rng);
+
+  std::string name() const override { return "FineTune"; }
+
+  void Train(const data::EpisodeSampler& sampler,
+             const models::EpisodeEncoder& encoder,
+             const TrainConfig& config) override;
+
+  std::vector<std::vector<int64_t>> AdaptAndPredict(
+      const models::EncodedEpisode& episode) override;
+
+  models::Backbone* backbone() { return backbone_.get(); }
+
+ private:
+  std::unique_ptr<models::Backbone> backbone_;
+  int64_t test_steps_ = TrainConfig{}.inner_steps_test;
+  float finetune_lr_ = TrainConfig{}.inner_lr;
+};
+
+}  // namespace fewner::meta

@@ -1,0 +1,60 @@
+// Per-task gradient accumulation for meta-batch training.
+//
+// Computing one joint graph over all tasks of a meta-batch keeps every task's
+// inner-loop graph (including dense embedding-table gradients) alive until the
+// single outer backward, which costs gigabytes at paper-like batch sizes.
+// Since the meta-objective is a mean of per-task losses, backpropagating each
+// task separately and summing raw gradient values is mathematically identical
+// and bounds peak memory by a single task's graph.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace fewner::meta {
+
+/// Accumulates detached per-task gradients into a flat float buffer.
+class GradAccumulator {
+ public:
+  explicit GradAccumulator(const std::vector<tensor::Tensor>& params) {
+    buffers_.reserve(params.size());
+    shapes_.reserve(params.size());
+    for (const auto& p : params) {
+      buffers_.emplace_back(p.data().size(), 0.0f);
+      shapes_.push_back(p.shape());
+    }
+  }
+
+  /// Adds one task's gradients (same layout as the constructor params).
+  void Add(const std::vector<tensor::Tensor>& grads) {
+    FEWNER_CHECK(grads.size() == buffers_.size(), "GradAccumulator layout mismatch");
+    for (size_t i = 0; i < grads.size(); ++i) {
+      const auto& g = grads[i].data();
+      FEWNER_CHECK(g.size() == buffers_[i].size(),
+                   "GradAccumulator size mismatch at slot " << i);
+      for (size_t j = 0; j < g.size(); ++j) buffers_[i][j] += g[j];
+    }
+  }
+
+  /// Materializes the accumulated (optionally scaled) gradients as tensors.
+  std::vector<tensor::Tensor> Finish(float scale) {
+    std::vector<tensor::Tensor> out;
+    out.reserve(buffers_.size());
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      std::vector<float> values = std::move(buffers_[i]);
+      for (float& v : values) v *= scale;
+      out.push_back(tensor::Tensor::FromData(shapes_[i], std::move(values)));
+    }
+    buffers_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<float>> buffers_;
+  std::vector<tensor::Shape> shapes_;
+};
+
+}  // namespace fewner::meta

@@ -1,0 +1,148 @@
+#include "meta/maml.h"
+
+#include "meta/grad_accumulator.h"
+
+#include <cmath>
+
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Global-norm cap for inner-loop gradients (the paper's clip value).
+constexpr float kInnerClip = 5.0f;
+
+models::BackboneConfig WithoutConditioning(models::BackboneConfig config) {
+  config.conditioning = models::Conditioning::kNone;
+  config.context_dim = 0;
+  return config;
+}
+}  // namespace
+
+Maml::Maml(const models::BackboneConfig& config, util::Rng* rng) {
+  util::Rng init_rng = rng->Fork(0x3A31ull);
+  backbone_ =
+      std::make_unique<models::Backbone>(WithoutConditioning(config), &init_rng);
+}
+
+std::vector<Tensor> Maml::InnerAdapt(
+    const std::vector<models::EncodedSentence>& support,
+    const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
+    bool create_graph) const {
+  std::vector<Tensor*> slots = backbone_->Parameters();
+  std::vector<Tensor> current = nn::ParameterTensors(backbone_.get());
+  for (int64_t k = 0; k < steps; ++k) {
+    Tensor loss;
+    {
+      nn::ParameterPatch patch(slots, current);
+      loss = backbone_->BatchLoss(support, Tensor(), valid_tags);
+    }
+    std::vector<Tensor> grads = tensor::autodiff::Grad(loss, current, create_graph);
+    // Full-network inner steps on the paper's summed task loss are large;
+    // rescale by the global norm (detached factor, paper's clip of 5.0) so a
+    // single step cannot blow up the whole backbone.
+    double norm_sq = 0.0;
+    for (const Tensor& g : grads) {
+      for (float v : g.data()) norm_sq += static_cast<double>(v) * v;
+    }
+    const float norm = static_cast<float>(std::sqrt(norm_sq));
+    const float clip_scale = norm > kInnerClip ? kInnerClip / norm : 1.0f;
+    for (size_t i = 0; i < current.size(); ++i) {
+      if (create_graph) {
+        current[i] = tensor::Sub(
+            current[i], tensor::MulScalar(grads[i], inner_lr * clip_scale));
+      } else {
+        // First-order test-time path: plain arithmetic into fresh leaves.
+        std::vector<float> updated = current[i].data();
+        const auto& g = grads[i].data();
+        for (size_t j = 0; j < updated.size(); ++j) {
+          updated[j] -= inner_lr * clip_scale * g[j];
+        }
+        Tensor leaf = Tensor::FromData(current[i].shape(), std::move(updated),
+                                       /*requires_grad=*/true);
+        current[i] = leaf;
+      }
+    }
+  }
+  return current;
+}
+
+void Maml::Train(const data::EpisodeSampler& sampler,
+                 const models::EpisodeEncoder& encoder, const TrainConfig& config) {
+  test_inner_steps_ = config.inner_steps_test;
+  inner_lr_ = config.inner_lr;
+  backbone_->SetTraining(true);
+
+  std::vector<Tensor*> slots = backbone_->Parameters();
+  nn::Adam optimizer(slots, config.meta_lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  int64_t tasks_seen = 0;
+  uint64_t episode_id = 0;
+
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    GradAccumulator accumulator(params);
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < config.meta_batch; ++b) {
+      data::Episode episode = sampler.Sample(episode_id++);
+      BoundTrainingEpisode(config, &episode);
+      models::EncodedEpisode enc = encoder.Encode(episode);
+
+      std::vector<Tensor> adapted =
+          InnerAdapt(enc.support, enc.valid_tags, config.inner_steps_train,
+                     config.inner_lr, /*create_graph=*/!config.first_order);
+      Tensor query_loss;
+      {
+        nn::ParameterPatch patch(slots, adapted);
+        query_loss = backbone_->BatchLoss(enc.query, Tensor(), enc.valid_tags);
+      }
+      // Eq. 3: meta-gradient w.r.t. the original parameters, flowing through
+      // the full-network inner updates; per-task backward bounds peak memory.
+      // In first-order mode the inner updates are detached, so the FOMAML
+      // gradient is taken at the adapted parameters and applied to the
+      // originals (identical layouts).
+      accumulator.Add(tensor::autodiff::Grad(
+          query_loss, config.first_order ? adapted : params));
+      loss_sum += query_loss.item();
+      ++tasks_seen;
+    }
+    std::vector<Tensor> grads =
+        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+    nn::ClipGradNorm(&grads, config.grad_clip);
+    optimizer.Step(grads);
+    if (tasks_seen / config.lr_decay_every !=
+        (tasks_seen - config.meta_batch) / config.lr_decay_every) {
+      optimizer.DecayLr(config.lr_decay);
+    }
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " query loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
+    }
+  }
+  backbone_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> Maml::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  backbone_->SetTraining(false);
+  std::vector<Tensor> adapted =
+      InnerAdapt(episode.support, episode.valid_tags, test_inner_steps_, inner_lr_,
+                 /*create_graph=*/false);
+  std::vector<Tensor*> slots = backbone_->Parameters();
+  nn::ParameterPatch patch(slots, adapted);
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    predictions.push_back(backbone_->Decode(sentence, Tensor(), episode.valid_tags));
+  }
+  return predictions;
+}
+
+}  // namespace fewner::meta

@@ -1,0 +1,154 @@
+#include "meta/matching_net.h"
+
+#include "meta/grad_accumulator.h"
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+MatchingNet::MatchingNet(const models::BackboneConfig& config, util::Rng* rng) {
+  models::BackboneConfig plain = config;
+  plain.conditioning = models::Conditioning::kNone;
+  plain.context_dim = 0;
+  util::Rng init_rng = rng->Fork(0x3A7Cull);
+  backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
+}
+
+Tensor MatchingNet::NormalizedFeatures(
+    const models::EncodedSentence& sentence) const {
+  Tensor features = backbone_->Encode(sentence, Tensor());  // [L, D]
+  Tensor norm = tensor::Sqrt(tensor::AddScalar(
+      tensor::SumAxis(tensor::Square(features), 1, /*keepdim=*/true), 1e-8f));
+  return tensor::Div(features, norm);
+}
+
+Tensor MatchingNet::QueryLogProbs(const models::EncodedSentence& sentence,
+                                  const Tensor& support_features,
+                                  const Tensor& support_labels) const {
+  Tensor queries = NormalizedFeatures(sentence);  // [L, D]
+  Tensor cosine = tensor::MatMul(queries, tensor::Transpose(support_features));
+  Tensor attention = tensor::SoftmaxLastDim(tensor::MulScalar(cosine, temperature_));
+  Tensor votes = tensor::MatMul(attention, support_labels);  // rows sum to 1
+  return tensor::Log(tensor::AddScalar(votes, 1e-6f));
+}
+
+Tensor MatchingNet::EpisodeLoss(const models::EncodedEpisode& episode) const {
+  const int64_t num_classes = backbone_->config().max_tags;
+  std::vector<Tensor> feature_blocks;
+  std::vector<int64_t> tags;
+  for (const auto& sentence : episode.support) {
+    feature_blocks.push_back(NormalizedFeatures(sentence));
+    tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
+  }
+  Tensor support_features = tensor::Concat(feature_blocks, 0);
+  const int64_t total = support_features.shape().dim(0);
+  std::vector<float> onehot(static_cast<size_t>(total * num_classes), 0.0f);
+  for (int64_t t = 0; t < total; ++t) {
+    onehot[static_cast<size_t>(t * num_classes + tags[static_cast<size_t>(t)])] =
+        1.0f;
+  }
+  Tensor support_labels =
+      Tensor::FromData(Shape{total, num_classes}, std::move(onehot));
+
+  Tensor loss_total;
+  int64_t tokens = 0;
+  for (const auto& sentence : episode.query) {
+    Tensor logp = QueryLogProbs(sentence, support_features, support_labels);
+    const int64_t length = sentence.length();
+    std::vector<float> select(static_cast<size_t>(length * num_classes), 0.0f);
+    for (int64_t t = 0; t < length; ++t) {
+      select[static_cast<size_t>(t * num_classes +
+                                 sentence.tags[static_cast<size_t>(t)])] = 1.0f;
+    }
+    Tensor gold = tensor::SumAll(tensor::Mul(
+        logp, Tensor::FromData(Shape{length, num_classes}, std::move(select))));
+    Tensor loss = tensor::Neg(gold);
+    loss_total = loss_total.defined() ? tensor::Add(loss_total, loss) : loss;
+    tokens += length;
+  }
+  FEWNER_CHECK(loss_total.defined(), "MatchingNet episode without query tokens");
+  return tensor::MulScalar(loss_total, 1.0f / static_cast<float>(tokens));
+}
+
+void MatchingNet::Train(const data::EpisodeSampler& sampler,
+                        const models::EpisodeEncoder& encoder,
+                        const TrainConfig& config) {
+  backbone_->SetTraining(true);
+  nn::Adam optimizer(backbone_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  uint64_t episode_id = 0;
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    GradAccumulator accumulator(params);
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < config.meta_batch; ++b) {
+      data::Episode episode = sampler.Sample(episode_id++);
+      BoundTrainingEpisode(config, &episode);
+      models::EncodedEpisode enc = encoder.Encode(episode);
+      Tensor loss = EpisodeLoss(enc);
+      accumulator.Add(tensor::autodiff::Grad(loss, params));
+      loss_sum += loss.item();
+    }
+    std::vector<Tensor> grads =
+        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+    nn::ClipGradNorm(&grads, config.grad_clip);
+    optimizer.Step(grads);
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
+    }
+  }
+  backbone_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> MatchingNet::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  backbone_->SetTraining(false);
+  const int64_t num_classes = backbone_->config().max_tags;
+  std::vector<Tensor> feature_blocks;
+  std::vector<int64_t> tags;
+  for (const auto& sentence : episode.support) {
+    feature_blocks.push_back(NormalizedFeatures(sentence));
+    tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
+  }
+  Tensor support_features = tensor::Concat(feature_blocks, 0);
+  const int64_t total = support_features.shape().dim(0);
+  std::vector<float> onehot(static_cast<size_t>(total * num_classes), 0.0f);
+  for (int64_t t = 0; t < total; ++t) {
+    onehot[static_cast<size_t>(t * num_classes + tags[static_cast<size_t>(t)])] =
+        1.0f;
+  }
+  Tensor support_labels =
+      Tensor::FromData(Shape{total, num_classes}, std::move(onehot));
+
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    Tensor logp = QueryLogProbs(sentence, support_features, support_labels);
+    const auto& values = logp.data();
+    const int64_t length = sentence.length();
+    std::vector<int64_t> decoded(static_cast<size_t>(length));
+    for (int64_t t = 0; t < length; ++t) {
+      int64_t best = 0;
+      float best_v = values[static_cast<size_t>(t * num_classes)];
+      for (int64_t c = 1; c < num_classes; ++c) {
+        const float v = values[static_cast<size_t>(t * num_classes + c)];
+        if (v > best_v) {
+          best_v = v;
+          best = c;
+        }
+      }
+      decoded[static_cast<size_t>(t)] = best;
+    }
+    predictions.push_back(std::move(decoded));
+  }
+  return predictions;
+}
+
+}  // namespace fewner::meta

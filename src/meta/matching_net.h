@@ -1,0 +1,48 @@
+// Matching Network baseline (Vinyals et al. 2016, the paper's reference [50]
+// that defined the N-way K-shot setting): metric-based few-shot classification
+// at the token level.  A query token's label distribution is the
+// cosine-similarity-weighted vote over ALL support tokens' labels — unlike
+// ProtoNet there is no class averaging, and unlike SNAIL no temporal
+// convolution or learned read-out.  An extension beyond the paper's baseline
+// set (see bench/extension_methods).
+
+#pragma once
+
+#include <memory>
+
+#include "meta/method.h"
+#include "models/backbone.h"
+#include "util/rng.h"
+
+namespace fewner::meta {
+
+/// Token-level matching network.
+class MatchingNet : public FewShotMethod {
+ public:
+  MatchingNet(const models::BackboneConfig& config, util::Rng* rng);
+
+  std::string name() const override { return "MatchingNet"; }
+
+  void Train(const data::EpisodeSampler& sampler,
+             const models::EpisodeEncoder& encoder,
+             const TrainConfig& config) override;
+
+  std::vector<std::vector<int64_t>> AdaptAndPredict(
+      const models::EncodedEpisode& episode) override;
+
+ private:
+  /// L2-normalized encoder features for one sentence, [L, D].
+  tensor::Tensor NormalizedFeatures(const models::EncodedSentence& sentence) const;
+
+  /// Log label distribution [L, max_tags] for a query sentence.
+  tensor::Tensor QueryLogProbs(const models::EncodedSentence& sentence,
+                               const tensor::Tensor& support_features,
+                               const tensor::Tensor& support_labels) const;
+
+  tensor::Tensor EpisodeLoss(const models::EncodedEpisode& episode) const;
+
+  std::unique_ptr<models::Backbone> backbone_;
+  float temperature_ = 10.0f;  ///< sharpness of the cosine attention
+};
+
+}  // namespace fewner::meta

@@ -1,0 +1,92 @@
+// Common interface for all few-shot NER methods (FEWNER and the nine
+// baselines).  A method is trained on episodes drawn from a source sampler,
+// then evaluated by adapting to each held-out episode's support set and
+// predicting its query set.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/episode_sampler.h"
+#include "models/encoding.h"
+
+namespace fewner::meta {
+
+/// Shared training hyper-parameters (paper §4.1.3 defaults, CPU-scaled
+/// iteration count).
+struct TrainConfig {
+  int64_t iterations = 60;        ///< outer-loop iterations (paper: to convergence)
+  int64_t meta_batch = 8;         ///< tasks per outer update (paper: 8)
+  int64_t inner_steps_train = 2;  ///< paper: 2
+  int64_t inner_steps_test = 8;   ///< paper: 8
+  float inner_lr = 0.1f;          ///< α (paper: 0.1)
+  float meta_lr = 8e-4f;          ///< β (paper: 0.0008)
+  float grad_clip = 5.0f;         ///< paper: 5.0
+  float weight_decay = 1e-7f;     ///< paper: fixed L2 of 1e-7
+  float lr_decay = 0.9f;          ///< paper: 0.9 ...
+  int64_t lr_decay_every = 5000;  ///< ... every 5000 tasks
+  int64_t train_query_size = 3;   ///< query sentences used per training task
+  /// Cap on support sentences consumed per TRAINING task (0 = unlimited).
+  /// 5-shot supports reach ~25 sentences; capping bounds the per-iteration
+  /// cost of the second-order inner loop on CPU.  Test-time adaptation always
+  /// uses the full support set, matching the paper's protocol.
+  int64_t train_support_cap = 10;
+  /// First-order approximation: detach the inner gradients during training
+  /// (FOMAML-style).  The paper's methods use exact second-order gradients;
+  /// this switch exists for the design-choice ablation bench.
+  bool first_order = false;
+  bool verbose = false;           ///< log outer-loop losses
+
+  /// Optional hook invoked after every `callback_every` outer iterations (and
+  /// after the last one).  Used for validation-based model selection (see
+  /// eval::BestSnapshotTracker) and for live monitoring.  Never invoked when
+  /// callback_every == 0.
+  int64_t callback_every = 0;
+  std::function<void(int64_t iteration)> iteration_callback;
+};
+
+/// Invokes the configured callback when the iteration index calls for it.
+inline void MaybeInvokeCallback(const TrainConfig& config, int64_t iteration) {
+  if (config.callback_every <= 0 || !config.iteration_callback) return;
+  if ((iteration + 1) % config.callback_every == 0 ||
+      iteration + 1 == config.iterations) {
+    config.iteration_callback(iteration);
+  }
+}
+
+/// Applies the train-time query/support bounds to an episode in place.
+inline void BoundTrainingEpisode(const TrainConfig& config, data::Episode* episode) {
+  if (static_cast<int64_t>(episode->query.size()) > config.train_query_size) {
+    episode->query.resize(static_cast<size_t>(config.train_query_size));
+  }
+  if (config.train_support_cap > 0 &&
+      static_cast<int64_t>(episode->support.size()) > config.train_support_cap) {
+    episode->support.resize(static_cast<size_t>(config.train_support_cap));
+  }
+}
+
+/// A few-shot sequence-labeling method.
+class FewShotMethod {
+ public:
+  virtual ~FewShotMethod() = default;
+
+  /// Display name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Trains on tasks drawn from `sampler` (the source/training split),
+  /// numerically encoded through `encoder`.
+  virtual void Train(const data::EpisodeSampler& sampler,
+                     const models::EpisodeEncoder& encoder,
+                     const TrainConfig& config) = 0;
+
+  /// Adapts to the episode's support set and predicts tag sequences for every
+  /// query sentence.  Must leave the method's trained state unchanged, so
+  /// evaluation episodes are independent.
+  virtual std::vector<std::vector<int64_t>> AdaptAndPredict(
+      const models::EncodedEpisode& episode) = 0;
+};
+
+}  // namespace fewner::meta

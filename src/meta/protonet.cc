@@ -1,0 +1,166 @@
+#include "meta/protonet.h"
+
+#include "meta/grad_accumulator.h"
+
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ProtoNet::ProtoNet(const models::BackboneConfig& config, util::Rng* rng) {
+  models::BackboneConfig plain = config;
+  plain.conditioning = models::Conditioning::kNone;
+  plain.context_dim = 0;
+  util::Rng init_rng = rng->Fork(0x9207ull);
+  backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
+}
+
+Tensor ProtoNet::BuildPrototypes(const std::vector<models::EncodedSentence>& support,
+                                 std::vector<bool>* class_present) const {
+  const int64_t num_classes = backbone_->config().max_tags;
+  std::vector<Tensor> features;
+  std::vector<int64_t> tags;
+  for (const auto& sentence : support) {
+    features.push_back(backbone_->Encode(sentence, Tensor()));
+    tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
+  }
+  Tensor all = tensor::Concat(features, 0);  // [T, D]
+  const int64_t total = all.shape().dim(0);
+
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+  for (int64_t tag : tags) ++counts[static_cast<size_t>(tag)];
+  class_present->assign(static_cast<size_t>(num_classes), false);
+
+  // Averaging matrix M [C, T]: row c has 1/count_c at the positions of class c
+  // — a constant, so prototypes stay differentiable w.r.t. the encoder.
+  std::vector<float> m(static_cast<size_t>(num_classes * total), 0.0f);
+  for (int64_t t = 0; t < total; ++t) {
+    const int64_t c = tags[static_cast<size_t>(t)];
+    (*class_present)[static_cast<size_t>(c)] = true;
+    m[static_cast<size_t>(c * total + t)] =
+        1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+  }
+  return tensor::MatMul(Tensor::FromData(Shape{num_classes, total}, std::move(m)),
+                        all);  // [C, D]
+}
+
+Tensor ProtoNet::TokenLogits(const models::EncodedSentence& sentence,
+                             const Tensor& prototypes,
+                             const std::vector<bool>& class_present) const {
+  const int64_t num_classes = backbone_->config().max_tags;
+  Tensor q = backbone_->Encode(sentence, Tensor());  // [L, D]
+  // -||q - p||^2 = -(||q||^2 - 2 q·p + ||p||^2)
+  Tensor q_sq = tensor::SumAxis(tensor::Square(q), 1, /*keepdim=*/true);  // [L, 1]
+  Tensor p_sq = tensor::Reshape(
+      tensor::SumAxis(tensor::Square(prototypes), 1, /*keepdim=*/false),
+      Shape{1, num_classes});                                             // [1, C]
+  Tensor cross = tensor::MatMul(q, tensor::Transpose(prototypes));        // [L, C]
+  Tensor logits = tensor::Neg(
+      tensor::Add(tensor::Sub(q_sq, tensor::MulScalar(cross, 2.0f)), p_sq));
+  // Classes absent from the support set cannot be predicted.
+  std::vector<float> mask(static_cast<size_t>(num_classes), 0.0f);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (!class_present[static_cast<size_t>(c)]) mask[static_cast<size_t>(c)] = -1e7f;
+  }
+  return tensor::Add(logits, Tensor::FromData(Shape{num_classes}, std::move(mask)));
+}
+
+Tensor ProtoNet::EpisodeLoss(const models::EncodedEpisode& episode) const {
+  std::vector<bool> class_present;
+  Tensor prototypes = BuildPrototypes(episode.support, &class_present);
+  const int64_t num_classes = backbone_->config().max_tags;
+
+  Tensor total;
+  int64_t tokens = 0;
+  for (const auto& sentence : episode.query) {
+    Tensor logp = tensor::LogSoftmaxLastDim(
+        TokenLogits(sentence, prototypes, class_present));
+    // Select gold log-probs; skip tokens whose gold class has no prototype.
+    const int64_t length = sentence.length();
+    std::vector<float> select(static_cast<size_t>(length * num_classes), 0.0f);
+    int64_t used = 0;
+    for (int64_t t = 0; t < length; ++t) {
+      const int64_t gold = sentence.tags[static_cast<size_t>(t)];
+      if (!class_present[static_cast<size_t>(gold)]) continue;
+      select[static_cast<size_t>(t * num_classes + gold)] = 1.0f;
+      ++used;
+    }
+    if (used == 0) continue;
+    Tensor gold_sum = tensor::SumAll(tensor::Mul(
+        logp, Tensor::FromData(Shape{length, num_classes}, std::move(select))));
+    Tensor loss = tensor::MulScalar(tensor::Neg(gold_sum), 1.0f);
+    total = total.defined() ? tensor::Add(total, loss) : loss;
+    tokens += used;
+  }
+  FEWNER_CHECK(total.defined(), "episode with no usable query tokens");
+  return tensor::MulScalar(total, 1.0f / static_cast<float>(tokens));
+}
+
+void ProtoNet::Train(const data::EpisodeSampler& sampler,
+                     const models::EpisodeEncoder& encoder,
+                     const TrainConfig& config) {
+  backbone_->SetTraining(true);
+  nn::Adam optimizer(backbone_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  uint64_t episode_id = 0;
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    GradAccumulator accumulator(params);
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < config.meta_batch; ++b) {
+      data::Episode episode = sampler.Sample(episode_id++);
+      BoundTrainingEpisode(config, &episode);
+      models::EncodedEpisode enc = encoder.Encode(episode);
+      Tensor loss = EpisodeLoss(enc);
+      accumulator.Add(tensor::autodiff::Grad(loss, params));
+      loss_sum += loss.item();
+    }
+    std::vector<Tensor> grads =
+        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+    nn::ClipGradNorm(&grads, config.grad_clip);
+    optimizer.Step(grads);
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
+    }
+  }
+  backbone_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> ProtoNet::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  backbone_->SetTraining(false);
+  std::vector<bool> class_present;
+  Tensor prototypes = BuildPrototypes(episode.support, &class_present);
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    Tensor logits = TokenLogits(sentence, prototypes, class_present);
+    const int64_t length = sentence.length();
+    const int64_t num_classes = backbone_->config().max_tags;
+    std::vector<int64_t> tags(static_cast<size_t>(length));
+    const auto& values = logits.data();
+    for (int64_t t = 0; t < length; ++t) {
+      int64_t best = 0;
+      float best_v = values[static_cast<size_t>(t * num_classes)];
+      for (int64_t c = 1; c < num_classes; ++c) {
+        const float v = values[static_cast<size_t>(t * num_classes + c)];
+        if (v > best_v) {
+          best_v = v;
+          best = c;
+        }
+      }
+      tags[static_cast<size_t>(t)] = best;
+    }
+    predictions.push_back(std::move(tags));
+  }
+  return predictions;
+}
+
+}  // namespace fewner::meta

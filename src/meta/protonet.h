@@ -1,0 +1,51 @@
+// ProtoNet baseline (Snell et al. 2017 adapted to tokens, paper §4.1.2):
+// sequence labeling as per-token classification in a learned metric space.
+// Class prototypes are the mean encoder features of support tokens carrying
+// each BIO tag; query tokens are classified by (negative squared) distance to
+// the prototypes.  There is no CRF and no gradient-based adaptation — the
+// adaptation is entirely the recomputation of prototypes.
+
+#pragma once
+
+#include <memory>
+
+#include "meta/method.h"
+#include "models/backbone.h"
+#include "util/rng.h"
+
+namespace fewner::meta {
+
+/// Token-level prototypical network.
+class ProtoNet : public FewShotMethod {
+ public:
+  ProtoNet(const models::BackboneConfig& config, util::Rng* rng);
+
+  std::string name() const override { return "ProtoNet"; }
+
+  void Train(const data::EpisodeSampler& sampler,
+             const models::EpisodeEncoder& encoder,
+             const TrainConfig& config) override;
+
+  std::vector<std::vector<int64_t>> AdaptAndPredict(
+      const models::EncodedEpisode& episode) override;
+
+ private:
+  /// Episode loss: cross-entropy of query tokens against prototype distances.
+  tensor::Tensor EpisodeLoss(const models::EncodedEpisode& episode) const;
+
+  /// Per-token logits [L, max_tags] for one query sentence given prototypes
+  /// [max_tags, D] and a present-class mask.
+  tensor::Tensor TokenLogits(const models::EncodedSentence& sentence,
+                             const tensor::Tensor& prototypes,
+                             const std::vector<bool>& class_present) const;
+
+  /// Builds prototypes from support features; `class_present` marks classes
+  /// with at least one support token.
+  tensor::Tensor BuildPrototypes(
+      const std::vector<models::EncodedSentence>& support,
+      std::vector<bool>* class_present) const;
+
+  std::unique_ptr<models::Backbone> backbone_;
+};
+
+}  // namespace fewner::meta

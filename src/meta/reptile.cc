@@ -1,0 +1,83 @@
+#include "meta/reptile.h"
+
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Tensor;
+
+Reptile::Reptile(const models::BackboneConfig& config, util::Rng* rng) {
+  models::BackboneConfig plain = config;
+  plain.conditioning = models::Conditioning::kNone;
+  plain.context_dim = 0;
+  util::Rng init_rng = rng->Fork(0x4E97ull);
+  backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
+}
+
+void Reptile::SgdOnSupport(const std::vector<models::EncodedSentence>& support,
+                           const std::vector<bool>& valid_tags, int64_t steps,
+                           float lr) {
+  nn::Sgd sgd(backbone_->Parameters(), lr);
+  for (int64_t k = 0; k < steps; ++k) {
+    Tensor loss = backbone_->BatchLoss(support, Tensor(), valid_tags);
+    std::vector<Tensor> grads =
+        tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
+    nn::ClipGradNorm(&grads, 5.0f);
+    sgd.Step(grads);
+  }
+}
+
+void Reptile::Train(const data::EpisodeSampler& sampler,
+                    const models::EpisodeEncoder& encoder,
+                    const TrainConfig& config) {
+  test_steps_ = config.inner_steps_test;
+  inner_lr_ = config.inner_lr;
+  backbone_->SetTraining(true);
+  // ε: the meta step toward adapted weights.  Reuses meta_lr scaled up since
+  // Reptile's update is a convex interpolation, not an Adam-preconditioned one.
+  const float epsilon = config.meta_lr * 25.0f;
+  uint64_t episode_id = 0;
+  const int64_t tasks = config.iterations * config.meta_batch;
+  for (int64_t task = 0; task < tasks; ++task) {
+    data::Episode episode = sampler.Sample(episode_id++);
+    BoundTrainingEpisode(config, &episode);
+    models::EncodedEpisode enc = encoder.Encode(episode);
+
+    std::vector<std::vector<float>> before =
+        nn::SnapshotParameterValues(backbone_.get());
+    SgdOnSupport(enc.support, enc.valid_tags, config.inner_steps_train,
+                 config.inner_lr);
+    // θ ← θ + ε (θ' − θ)
+    auto slots = backbone_->Parameters();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      std::vector<float>* values = slots[i]->mutable_data();
+      for (size_t j = 0; j < values->size(); ++j) {
+        const float adapted = (*values)[j];
+        (*values)[j] = before[i][j] + epsilon * (adapted - before[i][j]);
+      }
+    }
+    if (config.verbose && task % 50 == 0) {
+      FEWNER_LOG(INFO) << name() << " task " << task;
+    }
+  }
+  backbone_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> Reptile::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  backbone_->SetTraining(false);
+  std::vector<std::vector<float>> snapshot =
+      nn::SnapshotParameterValues(backbone_.get());
+  SgdOnSupport(episode.support, episode.valid_tags, test_steps_, inner_lr_);
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    predictions.push_back(backbone_->Decode(sentence, Tensor(), episode.valid_tags));
+  }
+  nn::RestoreParameterValues(backbone_.get(), snapshot);
+  return predictions;
+}
+
+}  // namespace fewner::meta

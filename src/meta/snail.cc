@@ -1,0 +1,181 @@
+#include "meta/snail.h"
+
+#include "meta/grad_accumulator.h"
+
+#include <cmath>
+
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fewner::meta {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Snail::Model::Model(const models::BackboneConfig& config, util::Rng* rng) {
+  models::BackboneConfig plain = config;
+  plain.conditioning = models::Conditioning::kNone;
+  plain.context_dim = 0;
+  backbone = std::make_unique<models::Backbone>(plain, rng);
+  RegisterModule("backbone", backbone.get());
+
+  const int64_t feature_dim = 2 * plain.hidden_dim;
+  const int64_t filters = plain.hidden_dim / 2;
+  tc1 = std::make_unique<nn::DilatedCausalConv>(feature_dim, filters, 1, rng);
+  tc2 = std::make_unique<nn::DilatedCausalConv>(tc1->output_dim(), filters, 2, rng);
+  tc_dim = tc2->output_dim();
+  attn_dim = plain.hidden_dim;
+  key_proj = std::make_unique<nn::Linear>(tc_dim, attn_dim, rng, /*with_bias=*/false);
+  query_proj =
+      std::make_unique<nn::Linear>(tc_dim, attn_dim, rng, /*with_bias=*/false);
+  classifier =
+      std::make_unique<nn::Linear>(tc_dim + plain.max_tags, plain.max_tags, rng);
+  RegisterModule("tc1", tc1.get());
+  RegisterModule("tc2", tc2.get());
+  RegisterModule("key_proj", key_proj.get());
+  RegisterModule("query_proj", query_proj.get());
+  RegisterModule("classifier", classifier.get());
+}
+
+Snail::Snail(const models::BackboneConfig& config, util::Rng* rng) {
+  util::Rng init_rng = rng->Fork(0x54A1ull);
+  model_ = std::make_unique<Model>(config, &init_rng);
+}
+
+Tensor Snail::Enrich(const models::EncodedSentence& sentence) const {
+  Tensor features = model_->backbone->Encode(sentence, Tensor());
+  return model_->tc2->Forward(model_->tc1->Forward(features));
+}
+
+void Snail::BuildSupport(const std::vector<models::EncodedSentence>& support,
+                         Tensor* keys, Tensor* labels) const {
+  const int64_t num_classes = model_->backbone->config().max_tags;
+  std::vector<Tensor> feature_blocks;
+  std::vector<int64_t> tags;
+  for (const auto& sentence : support) {
+    feature_blocks.push_back(Enrich(sentence));
+    tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
+  }
+  Tensor all = tensor::Concat(feature_blocks, 0);  // [T, tc_dim]
+  *keys = model_->key_proj->Forward(all);          // [T, attn_dim]
+  const int64_t total = all.shape().dim(0);
+  std::vector<float> onehot(static_cast<size_t>(total * num_classes), 0.0f);
+  for (int64_t t = 0; t < total; ++t) {
+    onehot[static_cast<size_t>(t * num_classes + tags[static_cast<size_t>(t)])] = 1.0f;
+  }
+  *labels = Tensor::FromData(Shape{total, num_classes}, std::move(onehot));
+}
+
+Tensor Snail::QueryLogProbs(const models::EncodedSentence& sentence,
+                            const Tensor& support_keys,
+                            const Tensor& support_labels,
+                            const std::vector<bool>& valid_tags) const {
+  Tensor enriched = Enrich(sentence);                               // [L, tc]
+  Tensor queries = model_->query_proj->Forward(enriched);           // [L, A]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(model_->attn_dim));
+  Tensor scores = tensor::MulScalar(
+      tensor::MatMul(queries, tensor::Transpose(support_keys)), scale);  // [L, T]
+  Tensor attention = tensor::SoftmaxLastDim(scores);
+  // Attention-weighted label read-out, re-weighted by a learned classifier so
+  // the model can counteract the O-class prior of the support tokens.
+  Tensor votes = tensor::MatMul(attention, support_labels);  // [L, C]
+  Tensor logits =
+      model_->classifier->Forward(tensor::Concat({enriched, votes}, 1));
+  // Tags outside the episode's N ways are masked out of the softmax.
+  const int64_t num_classes = model_->backbone->config().max_tags;
+  std::vector<float> mask(static_cast<size_t>(num_classes), 0.0f);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (!valid_tags[static_cast<size_t>(c)]) mask[static_cast<size_t>(c)] = -1e7f;
+  }
+  logits = tensor::Add(logits, Tensor::FromData(Shape{num_classes}, std::move(mask)));
+  return tensor::LogSoftmaxLastDim(logits);
+}
+
+Tensor Snail::EpisodeLoss(const models::EncodedEpisode& episode) const {
+  Tensor keys, labels;
+  BuildSupport(episode.support, &keys, &labels);
+  const int64_t num_classes = model_->backbone->config().max_tags;
+  Tensor total;
+  int64_t tokens = 0;
+  for (const auto& sentence : episode.query) {
+    Tensor logp = QueryLogProbs(sentence, keys, labels, episode.valid_tags);
+    const int64_t length = sentence.length();
+    std::vector<float> select(static_cast<size_t>(length * num_classes), 0.0f);
+    for (int64_t t = 0; t < length; ++t) {
+      select[static_cast<size_t>(t * num_classes +
+                                 sentence.tags[static_cast<size_t>(t)])] = 1.0f;
+    }
+    Tensor gold = tensor::SumAll(tensor::Mul(
+        logp, Tensor::FromData(Shape{length, num_classes}, std::move(select))));
+    Tensor loss = tensor::Neg(gold);
+    total = total.defined() ? tensor::Add(total, loss) : loss;
+    tokens += length;
+  }
+  FEWNER_CHECK(total.defined() && tokens > 0, "SNAIL episode without query tokens");
+  return tensor::MulScalar(total, 1.0f / static_cast<float>(tokens));
+}
+
+void Snail::Train(const data::EpisodeSampler& sampler,
+                  const models::EpisodeEncoder& encoder, const TrainConfig& config) {
+  model_->SetTraining(true);
+  nn::Adam optimizer(model_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  uint64_t episode_id = 0;
+  const std::vector<Tensor> params = nn::ParameterTensors(model_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    GradAccumulator accumulator(params);
+    double loss_sum = 0.0;
+    for (int64_t b = 0; b < config.meta_batch; ++b) {
+      data::Episode episode = sampler.Sample(episode_id++);
+      BoundTrainingEpisode(config, &episode);
+      models::EncodedEpisode enc = encoder.Encode(episode);
+      Tensor loss = EpisodeLoss(enc);
+      accumulator.Add(tensor::autodiff::Grad(loss, params));
+      loss_sum += loss.item();
+    }
+    std::vector<Tensor> grads =
+        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+    nn::ClipGradNorm(&grads, config.grad_clip);
+    optimizer.Step(grads);
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
+    }
+  }
+  model_->SetTraining(false);
+}
+
+std::vector<std::vector<int64_t>> Snail::AdaptAndPredict(
+    const models::EncodedEpisode& episode) {
+  model_->SetTraining(false);
+  Tensor keys, labels;
+  BuildSupport(episode.support, &keys, &labels);
+  const int64_t num_classes = model_->backbone->config().max_tags;
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(episode.query.size());
+  for (const auto& sentence : episode.query) {
+    Tensor logp = QueryLogProbs(sentence, keys, labels, episode.valid_tags);
+    const auto& values = logp.data();
+    const int64_t length = sentence.length();
+    std::vector<int64_t> tags(static_cast<size_t>(length));
+    for (int64_t t = 0; t < length; ++t) {
+      int64_t best = 0;
+      float best_v = values[static_cast<size_t>(t * num_classes)];
+      for (int64_t c = 1; c < num_classes; ++c) {
+        const float v = values[static_cast<size_t>(t * num_classes + c)];
+        if (v > best_v) {
+          best_v = v;
+          best = c;
+        }
+      }
+      tags[static_cast<size_t>(t)] = best;
+    }
+    predictions.push_back(std::move(tags));
+  }
+  return predictions;
+}
+
+}  // namespace fewner::meta

@@ -1,0 +1,131 @@
+#include "models/backbone.h"
+
+#include "tensor/ops.h"
+
+namespace fewner::models {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Backbone::Backbone(const BackboneConfig& config, util::Rng* rng)
+    : config_(config), dropout_rng_(rng->Fork(0xD409u)) {
+  FEWNER_CHECK(config.word_vocab_size > 0, "backbone needs a word vocabulary");
+  word_embedding_ =
+      std::make_unique<nn::Embedding>(config.word_vocab_size, config.word_dim, rng);
+  if (config.pretrained_word_vectors != nullptr) {
+    word_embedding_->LoadPretrained(*config.pretrained_word_vectors);
+  }
+  RegisterModule("word_embedding", word_embedding_.get());
+
+  if (config.use_char_cnn) {
+    nn::CharCnnConfig char_config;
+    char_config.char_vocab_size = config.char_vocab_size;
+    char_config.char_dim = config.char_dim;
+    char_config.filter_widths = config.filter_widths;
+    char_config.filters_per_width = config.filters_per_width;
+    char_cnn_ = std::make_unique<nn::CharCnn>(char_config, rng);
+    RegisterModule("char_cnn", char_cnn_.get());
+  }
+
+  if (config.encoder == EncoderKind::kBiGru) {
+    bigru_ = std::make_unique<nn::BiGru>(token_input_dim(), config.hidden_dim, rng);
+    RegisterModule("bigru", bigru_.get());
+  } else {
+    bilstm_ =
+        std::make_unique<nn::BiLstm>(token_input_dim(), config.hidden_dim, rng);
+    RegisterModule("bilstm", bilstm_.get());
+  }
+
+  if (config.conditioning == Conditioning::kFilm) {
+    FEWNER_CHECK(config.context_dim > 0, "FiLM conditioning needs context_dim > 0");
+    film_ = std::make_unique<nn::FilmGenerator>(config.context_dim,
+                                                2 * config.hidden_dim, rng);
+    RegisterModule("film", film_.get());
+  }
+
+  emission_ =
+      std::make_unique<nn::Linear>(2 * config.hidden_dim, config.max_tags, rng);
+  RegisterModule("emission", emission_.get());
+
+  crf_ = std::make_unique<crf::LinearChainCrf>(config.max_tags);
+  RegisterModule("crf", crf_.get());
+}
+
+int64_t Backbone::token_input_dim() const {
+  int64_t dim = config_.word_dim;
+  if (config_.use_char_cnn) {
+    dim += static_cast<int64_t>(config_.filter_widths.size()) *
+           config_.filters_per_width;
+  }
+  if (config_.conditioning == Conditioning::kConcat) dim += config_.context_dim;
+  return dim;
+}
+
+Tensor Backbone::ZeroContext() const {
+  if (config_.conditioning == Conditioning::kNone) return Tensor();
+  return Tensor::Zeros(Shape{config_.context_dim}, /*requires_grad=*/true);
+}
+
+Tensor Backbone::InputRepresentation(const EncodedSentence& sentence) const {
+  Tensor words = word_embedding_->Forward(sentence.word_ids);  // [L, word_dim]
+  Tensor input = words;
+  if (config_.use_char_cnn) {
+    Tensor chars = char_cnn_->Forward(sentence.char_ids);  // [L, char_features]
+    input = tensor::Concat({words, chars}, 1);
+  }
+  return tensor::Dropout(input, config_.dropout, &dropout_rng_, training());
+}
+
+Tensor Backbone::Encode(const EncodedSentence& sentence, const Tensor& phi) const {
+  FEWNER_CHECK(sentence.length() > 0, "Encode on empty sentence");
+  Tensor input = InputRepresentation(sentence);
+  if (config_.conditioning == Conditioning::kConcat) {
+    FEWNER_CHECK(phi.defined(), "kConcat conditioning requires a context vector");
+    // Method A (paper Eq. 7): φ joins every token's input features.
+    Tensor phi_rows = tensor::BroadcastTo(
+        tensor::Reshape(phi, Shape{1, config_.context_dim}),
+        Shape{sentence.length(), config_.context_dim});
+    input = tensor::Concat({input, phi_rows}, 1);
+  }
+  Tensor hidden = bigru_ ? bigru_->Forward(input)
+                         : bilstm_->Forward(input);  // [L, 2H]
+  if (config_.conditioning == Conditioning::kFilm) {
+    FEWNER_CHECK(phi.defined(), "kFilm conditioning requires a context vector");
+    // Method B (paper Eq. 8-9): modulate the BiGRU output so adapted hidden
+    // states feed task-specific label dependencies into the CRF.
+    hidden = film_->Forward(hidden, phi);
+  }
+  return tensor::Dropout(hidden, config_.dropout, &dropout_rng_, training());
+}
+
+Tensor Backbone::Emissions(const EncodedSentence& sentence, const Tensor& phi) const {
+  return emission_->Forward(Encode(sentence, phi));
+}
+
+Tensor Backbone::SentenceLoss(const EncodedSentence& sentence, const Tensor& phi,
+                              const std::vector<bool>& valid_tags) const {
+  return crf_->NegLogLikelihood(Emissions(sentence, phi), sentence.tags, &valid_tags);
+}
+
+Tensor Backbone::BatchLoss(const std::vector<EncodedSentence>& sentences,
+                           const Tensor& phi,
+                           const std::vector<bool>& valid_tags) const {
+  FEWNER_CHECK(!sentences.empty(), "BatchLoss on zero sentences");
+  // The paper's task loss is the SUM of sentence NLLs (L = -Σ p(y|h), §3.2.3);
+  // the inner learning rate α = 0.1 is calibrated against this scale, so a
+  // mean here would silently shrink every inner step by the support size.
+  Tensor total;
+  for (const EncodedSentence& sentence : sentences) {
+    Tensor loss = SentenceLoss(sentence, phi, valid_tags);
+    total = total.defined() ? tensor::Add(total, loss) : loss;
+  }
+  return total;
+}
+
+std::vector<int64_t> Backbone::Decode(const EncodedSentence& sentence,
+                                      const Tensor& phi,
+                                      const std::vector<bool>& valid_tags) const {
+  return crf_->Viterbi(Emissions(sentence, phi).Detach(), &valid_tags);
+}
+
+}  // namespace fewner::models

@@ -1,0 +1,119 @@
+// CNN-BiGRU-CRF sequence-labeling backbone (paper Fig. 3) with optional
+// context-parameter conditioning (paper §3.2.4).
+//
+// The backbone owns all task-independent parameters θ.  The task context φ is
+// *not* a parameter of this module: forward methods take it as an explicit
+// tensor so the FEWNER inner loop can thread freshly adapted φ_k values
+// through the network functionally (keeping the meta-graph differentiable).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crf/linear_chain_crf.h"
+#include "models/encoding.h"
+#include "nn/char_cnn.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fewner::models {
+
+/// Where/how φ conditions the backbone (paper Fig. 4).
+enum class Conditioning {
+  kNone,    ///< baselines without context parameters
+  kConcat,  ///< method A: concatenate φ to each token's BiGRU input
+  kFilm,    ///< method B (default): FiLM on the BiGRU output
+};
+
+/// Context-encoder choice.  The paper picks BiGRU for its cost/quality
+/// trade-off (§3.2.2); BiLSTM is the classic alternative and is ablated in
+/// bench/ablation_encoder.
+enum class EncoderKind {
+  kBiGru,
+  kBiLstm,
+};
+
+/// Hyper-parameters of the backbone.  Defaults are the CPU-scale profile; the
+/// paper-scale values are noted inline.
+struct BackboneConfig {
+  int64_t word_vocab_size = 0;
+  int64_t char_vocab_size = 0;
+  int64_t word_dim = 32;             ///< paper: 300 (GloVe)
+  int64_t char_dim = 12;             ///< paper: 100
+  std::vector<int64_t> filter_widths = {2, 3, 4};
+  int64_t filters_per_width = 8;     ///< paper: 50 (150 total)
+  int64_t hidden_dim = 48;           ///< paper: 128
+  EncoderKind encoder = EncoderKind::kBiGru;
+  int64_t max_tags = 11;             ///< 2 * max_way + 1
+  int64_t context_dim = 96;          ///< |φ|; paper: 256 (= 2x hidden there)
+  Conditioning conditioning = Conditioning::kFilm;
+  float dropout = 0.3f;              ///< paper: 0.3
+  bool use_char_cnn = true;          ///< ablation: remove character CNN
+  /// Optional pre-computed word vectors (the GloVe stand-in; see
+  /// text::HashEmbeddings).  Must outlive construction; the table remains
+  /// trainable afterwards, as the paper fine-tunes GloVe.
+  const std::vector<std::vector<float>>* pretrained_word_vectors = nullptr;
+};
+
+/// The θ network: input representation + context encoder + tag decoder.
+class Backbone : public nn::Module {
+ public:
+  Backbone(const BackboneConfig& config, util::Rng* rng);
+
+  /// Context-encoded token features [L, 2H]; φ must be defined iff the
+  /// conditioning mode uses it (pass ZeroContext() when in doubt).
+  tensor::Tensor Encode(const EncodedSentence& sentence,
+                        const tensor::Tensor& phi) const;
+
+  /// CRF emission scores [L, max_tags].
+  tensor::Tensor Emissions(const EncodedSentence& sentence,
+                           const tensor::Tensor& phi) const;
+
+  /// CRF negative log-likelihood of the sentence's gold tags.
+  tensor::Tensor SentenceLoss(const EncodedSentence& sentence,
+                              const tensor::Tensor& phi,
+                              const std::vector<bool>& valid_tags) const;
+
+  /// Summed NLL over a set of sentences (the task loss L_T of Eq. 5/6;
+  /// the paper defines L = -Σ p(y|h)).
+  tensor::Tensor BatchLoss(const std::vector<EncodedSentence>& sentences,
+                           const tensor::Tensor& phi,
+                           const std::vector<bool>& valid_tags) const;
+
+  /// Viterbi decode of one sentence.
+  std::vector<int64_t> Decode(const EncodedSentence& sentence,
+                              const tensor::Tensor& phi,
+                              const std::vector<bool>& valid_tags) const;
+
+  /// Fresh zero context vector (requires_grad, ready for inner-loop descent).
+  /// Undefined tensor when conditioning is kNone.
+  tensor::Tensor ZeroContext() const;
+
+  const BackboneConfig& config() const { return config_; }
+  nn::Embedding* word_embedding() { return word_embedding_.get(); }
+  crf::LinearChainCrf* crf() { return crf_.get(); }
+
+  /// Token input dimension fed to the BiGRU (word + char [+ φ for kConcat]).
+  int64_t token_input_dim() const;
+
+ private:
+  /// Word + character input representation [L, word_dim (+ char features)].
+  tensor::Tensor InputRepresentation(const EncodedSentence& sentence) const;
+
+  BackboneConfig config_;
+  std::unique_ptr<nn::Embedding> word_embedding_;
+  std::unique_ptr<nn::CharCnn> char_cnn_;
+  std::unique_ptr<nn::BiGru> bigru_;
+  std::unique_ptr<nn::BiLstm> bilstm_;
+  std::unique_ptr<nn::FilmGenerator> film_;
+  std::unique_ptr<nn::Linear> emission_;
+  std::unique_ptr<crf::LinearChainCrf> crf_;
+  mutable util::Rng dropout_rng_;
+};
+
+}  // namespace fewner::models

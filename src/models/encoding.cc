@@ -1,0 +1,47 @@
+#include "models/encoding.h"
+
+#include "text/bio.h"
+#include "util/status.h"
+
+namespace fewner::models {
+
+EpisodeEncoder::EpisodeEncoder(const text::Vocab* word_vocab,
+                               const text::Vocab* char_vocab, int64_t max_tags)
+    : word_vocab_(word_vocab), char_vocab_(char_vocab), max_tags_(max_tags) {
+  FEWNER_CHECK(word_vocab_ != nullptr && char_vocab_ != nullptr,
+               "EpisodeEncoder requires vocabularies");
+  FEWNER_CHECK(max_tags_ >= 3, "max_tags must cover at least a 1-way tagset");
+}
+
+EncodedSentence EpisodeEncoder::EncodeSentence(
+    const data::Sentence& sentence, const std::vector<std::string>& types) const {
+  EncodedSentence encoded;
+  encoded.source = &sentence;
+  encoded.word_ids.reserve(sentence.tokens.size());
+  encoded.char_ids.reserve(sentence.tokens.size());
+  for (const std::string& token : sentence.tokens) {
+    encoded.word_ids.push_back(text::WordId(*word_vocab_, token));
+    encoded.char_ids.push_back(text::CharIds(*char_vocab_, token));
+  }
+  encoded.tags = text::SpansToTags(sentence.entities,
+                                   data::SlotsFor(sentence, types),
+                                   encoded.length());
+  return encoded;
+}
+
+EncodedEpisode EpisodeEncoder::Encode(const data::Episode& episode) const {
+  EncodedEpisode out;
+  out.n_way = episode.n_way();
+  out.valid_tags = text::ValidTagMask(out.n_way, max_tags_);
+  out.support.reserve(episode.support.size());
+  for (const data::Sentence* s : episode.support) {
+    out.support.push_back(EncodeSentence(*s, episode.types));
+  }
+  out.query.reserve(episode.query.size());
+  for (const data::Sentence* s : episode.query) {
+    out.query.push_back(EncodeSentence(*s, episode.types));
+  }
+  return out;
+}
+
+}  // namespace fewner::models

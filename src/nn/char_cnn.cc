@@ -1,0 +1,59 @@
+#include "nn/char_cnn.h"
+
+#include <string>
+
+#include "tensor/ops.h"
+
+namespace fewner::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+CharCnn::CharCnn(const CharCnnConfig& config, util::Rng* rng) : config_(config) {
+  FEWNER_CHECK(config.char_vocab_size > 0, "CharCnn requires a character vocabulary");
+  FEWNER_CHECK(!config.filter_widths.empty(), "CharCnn requires filter widths");
+  char_embedding_ =
+      std::make_unique<Embedding>(config.char_vocab_size, config.char_dim, rng);
+  RegisterModule("char_embedding", char_embedding_.get());
+  for (size_t i = 0; i < config.filter_widths.size(); ++i) {
+    const int64_t width = config.filter_widths[i];
+    filters_.push_back(std::make_unique<Linear>(width * config.char_dim,
+                                                config.filters_per_width, rng));
+    RegisterModule("filter_w" + std::to_string(width), filters_[i].get());
+  }
+}
+
+int64_t CharCnn::output_dim() const {
+  return static_cast<int64_t>(config_.filter_widths.size()) *
+         config_.filters_per_width;
+}
+
+Tensor CharCnn::EncodeWord(const std::vector<int64_t>& chars) const {
+  int64_t max_width = 0;
+  for (int64_t w : config_.filter_widths) max_width = std::max(max_width, w);
+
+  // Pad short words with the reserved pad id 0 so every filter width fits.
+  std::vector<int64_t> padded = chars;
+  while (static_cast<int64_t>(padded.size()) < max_width) padded.push_back(0);
+
+  Tensor embedded = char_embedding_->Forward(padded);  // [T, char_dim]
+  std::vector<Tensor> pooled;
+  pooled.reserve(filters_.size());
+  for (size_t i = 0; i < filters_.size(); ++i) {
+    const int64_t width = config_.filter_widths[i];
+    Tensor windows = tensor::Unfold1d(embedded, width);     // [T-w+1, w*char_dim]
+    Tensor conv = tensor::Relu(filters_[i]->Forward(windows));  // [T-w+1, F]
+    pooled.push_back(tensor::MaxAxis(conv, 0, /*keepdim=*/false));  // [F]
+  }
+  return tensor::Concat(pooled, 0);  // rank-1 [output_dim]
+}
+
+Tensor CharCnn::Forward(const std::vector<std::vector<int64_t>>& chars) const {
+  FEWNER_CHECK(!chars.empty(), "CharCnn::Forward on empty sentence");
+  std::vector<Tensor> rows;
+  rows.reserve(chars.size());
+  for (const auto& word : chars) rows.push_back(EncodeWord(word));
+  return tensor::StackRows(rows);  // [num_words, output_dim]
+}
+
+}  // namespace fewner::nn

@@ -1,0 +1,46 @@
+// Character-level CNN (paper §3.2.2, Fig. 3): per-word character embeddings
+// are convolved with several filter widths and max-pooled over time, yielding
+// a morphology-aware word representation.  Table 5 shows this component is the
+// single most important one for few-shot NER (OOTV handling).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace fewner::nn {
+
+/// Configuration for the character CNN.
+struct CharCnnConfig {
+  int64_t char_vocab_size = 0;
+  int64_t char_dim = 16;                       ///< character embedding size
+  std::vector<int64_t> filter_widths = {2, 3, 4};
+  int64_t filters_per_width = 10;              ///< paper: 50 each (150 total)
+};
+
+/// Multi-width character convolution with max-over-time pooling.
+class CharCnn : public Module {
+ public:
+  CharCnn(const CharCnnConfig& config, util::Rng* rng);
+
+  /// chars: per-word character id sequences for one sentence.
+  /// Returns [num_words, output_dim()].
+  tensor::Tensor Forward(const std::vector<std::vector<int64_t>>& chars) const;
+
+  /// Total feature size: filter_widths.size() * filters_per_width.
+  int64_t output_dim() const;
+
+ private:
+  /// One word's [T, char_dim] -> [output_dim].
+  tensor::Tensor EncodeWord(const std::vector<int64_t>& chars) const;
+
+  CharCnnConfig config_;
+  std::unique_ptr<Embedding> char_embedding_;
+  std::vector<std::unique_ptr<Linear>> filters_;  ///< one [w*char_dim -> F] per width
+};
+
+}  // namespace fewner::nn

@@ -1,0 +1,79 @@
+#include "nn/gru.h"
+
+#include <vector>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace fewner::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_ih_ = XavierNormal(input_dim, 3 * hidden_dim, rng);
+  w_hh_ = XavierNormal(hidden_dim, 3 * hidden_dim, rng);
+  b_ih_ = ZeroInit(Shape{3 * hidden_dim});
+  b_hh_ = ZeroInit(Shape{3 * hidden_dim});
+  RegisterParameter("w_ih", &w_ih_);
+  RegisterParameter("w_hh", &w_hh_);
+  RegisterParameter("b_ih", &b_ih_);
+  RegisterParameter("b_hh", &b_hh_);
+}
+
+Tensor GruCell::ProjectInput(const Tensor& x) const {
+  FEWNER_CHECK(x.rank() == 2 && x.shape().dim(1) == input_dim_,
+               "GruCell expects [L, " << input_dim_ << "], got "
+                                      << x.shape().ToString());
+  return tensor::Add(tensor::MatMul(x, w_ih_), b_ih_);  // [L, 3H]
+}
+
+Tensor GruCell::Step(const Tensor& projected_row, const Tensor& h) const {
+  const int64_t hd = hidden_dim_;
+  Tensor hidden_proj = tensor::Add(tensor::MatMul(h, w_hh_), b_hh_);  // [1, 3H]
+
+  Tensor xr = tensor::Slice(projected_row, 1, 0, hd);
+  Tensor xz = tensor::Slice(projected_row, 1, hd, hd);
+  Tensor xn = tensor::Slice(projected_row, 1, 2 * hd, hd);
+  Tensor hr = tensor::Slice(hidden_proj, 1, 0, hd);
+  Tensor hz = tensor::Slice(hidden_proj, 1, hd, hd);
+  Tensor hn = tensor::Slice(hidden_proj, 1, 2 * hd, hd);
+
+  Tensor r = tensor::Sigmoid(tensor::Add(xr, hr));
+  Tensor z = tensor::Sigmoid(tensor::Add(xz, hz));
+  Tensor n = tensor::Tanh(tensor::Add(xn, tensor::Mul(r, hn)));
+  // h' = (1 - z) ⊙ n + z ⊙ h
+  Tensor one_minus_z = tensor::AddScalar(tensor::Neg(z), 1.0f);
+  return tensor::Add(tensor::Mul(one_minus_z, n), tensor::Mul(z, h));
+}
+
+BiGru::BiGru(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : hidden_dim_(hidden_dim) {
+  forward_cell_ = std::make_unique<GruCell>(input_dim, hidden_dim, rng);
+  backward_cell_ = std::make_unique<GruCell>(input_dim, hidden_dim, rng);
+  RegisterModule("forward", forward_cell_.get());
+  RegisterModule("backward", backward_cell_.get());
+}
+
+Tensor BiGru::RunDirection(const GruCell& cell, const Tensor& x, bool reverse) const {
+  const int64_t length = x.shape().dim(0);
+  Tensor projected = cell.ProjectInput(x);  // [L, 3H]
+  Tensor h = Tensor::Zeros(Shape{1, hidden_dim_});
+  std::vector<Tensor> states(static_cast<size_t>(length));
+  for (int64_t step = 0; step < length; ++step) {
+    const int64_t t = reverse ? length - 1 - step : step;
+    Tensor row = tensor::Slice(projected, 0, t, 1);  // [1, 3H]
+    h = cell.Step(row, h);
+    states[static_cast<size_t>(t)] = h;
+  }
+  return tensor::Concat(states, 0);  // [L, H]
+}
+
+Tensor BiGru::Forward(const Tensor& x) const {
+  Tensor fwd = RunDirection(*forward_cell_, x, /*reverse=*/false);
+  Tensor bwd = RunDirection(*backward_cell_, x, /*reverse=*/true);
+  return tensor::Concat({fwd, bwd}, 1);  // [L, 2H]
+}
+
+}  // namespace fewner::nn

@@ -1,0 +1,65 @@
+// Gated recurrent units: a single GRU cell and the bidirectional GRU encoder
+// used as the context encoder of the CNN-BiGRU-CRF backbone (paper Fig. 3).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fewner::nn {
+
+/// Single-direction GRU cell with PyTorch gate conventions (r, z, n):
+///   r = σ(x W_ir + h W_hr + b_r)
+///   z = σ(x W_iz + h W_hz + b_z)
+///   n = tanh(x W_in + r ⊙ (h W_hn) + b_n)
+///   h' = (1 - z) ⊙ n + z ⊙ h
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  /// Projects a whole sequence's inputs at once: [L, input] -> [L, 3H].
+  /// Hoisting this matmul out of the recurrence is the standard optimization.
+  tensor::Tensor ProjectInput(const tensor::Tensor& x) const;
+
+  /// One step given a pre-projected input row [1, 3H] and state [1, H].
+  tensor::Tensor Step(const tensor::Tensor& projected_row,
+                      const tensor::Tensor& h) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+  int64_t input_dim() const { return input_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  tensor::Tensor w_ih_;  ///< [input, 3H], gate order r|z|n
+  tensor::Tensor w_hh_;  ///< [H, 3H]
+  tensor::Tensor b_ih_;  ///< [3H]
+  tensor::Tensor b_hh_;  ///< [3H]
+};
+
+/// Bidirectional GRU over a sentence: concatenates forward and backward hidden
+/// states per token, [L, input] -> [L, 2H].
+class BiGru : public Module {
+ public:
+  BiGru(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t output_dim() const { return 2 * hidden_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  /// Runs one direction; `reverse` processes the sequence back to front.
+  tensor::Tensor RunDirection(const GruCell& cell, const tensor::Tensor& x,
+                              bool reverse) const;
+
+  int64_t hidden_dim_;
+  std::unique_ptr<GruCell> forward_cell_;
+  std::unique_ptr<GruCell> backward_cell_;
+};
+
+}  // namespace fewner::nn

@@ -1,0 +1,34 @@
+// Parameter initialization helpers.
+
+#pragma once
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fewner::nn {
+
+/// Xavier/Glorot-normal init for a [fan_in, fan_out] weight matrix.
+inline tensor::Tensor XavierNormal(int64_t fan_in, int64_t fan_out, util::Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::Randn(tensor::Shape{fan_in, fan_out}, rng, stddev,
+                               /*requires_grad=*/true);
+}
+
+/// Gaussian init with explicit stddev (used for embeddings).
+inline tensor::Tensor GaussianInit(tensor::Shape shape, float stddev, util::Rng* rng) {
+  return tensor::Tensor::Randn(std::move(shape), rng, stddev, /*requires_grad=*/true);
+}
+
+/// Zero-initialized trainable tensor (biases).
+inline tensor::Tensor ZeroInit(tensor::Shape shape) {
+  return tensor::Tensor::Zeros(std::move(shape), /*requires_grad=*/true);
+}
+
+/// Constant-initialized trainable tensor.
+inline tensor::Tensor ConstantInit(tensor::Shape shape, float value) {
+  return tensor::Tensor::Full(std::move(shape), value, /*requires_grad=*/true);
+}
+
+}  // namespace fewner::nn

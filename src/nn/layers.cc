@@ -1,0 +1,102 @@
+#include "nn/layers.h"
+
+#include "nn/init.h"
+
+namespace fewner::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features), with_bias_(with_bias) {
+  weight_ = XavierNormal(in_features, out_features, rng);
+  RegisterParameter("weight", &weight_);
+  if (with_bias_) {
+    bias_ = ZeroInit(Shape{out_features});
+    RegisterParameter("bias", &bias_);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  FEWNER_CHECK(x.rank() == 2 && x.shape().dim(1) == in_features_,
+               "Linear expects [n, " << in_features_ << "], got "
+                                     << x.shape().ToString());
+  Tensor out = tensor::MatMul(x, weight_);
+  if (with_bias_) out = tensor::Add(out, bias_);
+  return out;
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng, float stddev)
+    : vocab_size_(vocab_size), dim_(dim) {
+  table_ = GaussianInit(Shape{vocab_size, dim}, stddev, rng);
+  RegisterParameter("table", &table_);
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return tensor::IndexSelectRows(table_, ids);
+}
+
+void Embedding::LoadPretrained(const std::vector<std::vector<float>>& rows) {
+  FEWNER_CHECK(static_cast<int64_t>(rows.size()) == vocab_size_,
+               "LoadPretrained: " << rows.size() << " rows for vocab " << vocab_size_);
+  std::vector<float>* data = table_.mutable_data();
+  for (int64_t i = 0; i < vocab_size_; ++i) {
+    FEWNER_CHECK(static_cast<int64_t>(rows[static_cast<size_t>(i)].size()) == dim_,
+                 "LoadPretrained: row " << i << " has wrong dimension");
+    for (int64_t j = 0; j < dim_; ++j) {
+      (*data)[static_cast<size_t>(i * dim_ + j)] =
+          rows[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  gain_ = ConstantInit(Shape{dim}, 1.0f);
+  bias_ = ZeroInit(Shape{dim});
+  RegisterParameter("gain", &gain_);
+  RegisterParameter("bias", &bias_);
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  FEWNER_CHECK(x.rank() == 2 && x.shape().dim(1) == dim_,
+               "LayerNorm expects [n, " << dim_ << "], got " << x.shape().ToString());
+  const float inv_d = 1.0f / static_cast<float>(dim_);
+  Tensor mean = tensor::MulScalar(tensor::SumAxis(x, 1, /*keepdim=*/true), inv_d);
+  Tensor centered = tensor::Sub(x, mean);
+  Tensor var = tensor::MulScalar(
+      tensor::SumAxis(tensor::Square(centered), 1, /*keepdim=*/true), inv_d);
+  Tensor normalized =
+      tensor::Div(centered, tensor::Sqrt(tensor::AddScalar(var, eps_)));
+  return tensor::Add(tensor::Mul(normalized, gain_), bias_);
+}
+
+FilmGenerator::FilmGenerator(int64_t context_dim, int64_t feature_dim, util::Rng* rng)
+    : context_dim_(context_dim), feature_dim_(feature_dim) {
+  weight_ = XavierNormal(context_dim, 2 * feature_dim, rng);
+  // γ entries start at 1 (identity scaling), η at 0, so a zero context vector
+  // leaves the hidden states unchanged.
+  std::vector<float> bias_values(static_cast<size_t>(2 * feature_dim), 0.0f);
+  for (int64_t i = 0; i < feature_dim; ++i) bias_values[static_cast<size_t>(i)] = 1.0f;
+  bias_ = Tensor::FromData(Shape{2 * feature_dim}, std::move(bias_values),
+                           /*requires_grad=*/true);
+  RegisterParameter("weight", &weight_);
+  RegisterParameter("bias", &bias_);
+}
+
+Tensor FilmGenerator::Forward(const Tensor& h, const Tensor& phi) const {
+  FEWNER_CHECK(h.rank() == 2 && h.shape().dim(1) == feature_dim_,
+               "FiLM expects h of [n, " << feature_dim_ << "], got "
+                                        << h.shape().ToString());
+  FEWNER_CHECK(phi.numel() == context_dim_,
+               "FiLM expects phi of size " << context_dim_ << ", got " << phi.numel());
+  Tensor phi_row = tensor::Reshape(phi, Shape{1, context_dim_});
+  Tensor gamma_eta =
+      tensor::Add(tensor::MatMul(phi_row, weight_), bias_);  // [1, 2F]
+  Tensor gamma = tensor::Slice(gamma_eta, 1, 0, feature_dim_);
+  Tensor eta = tensor::Slice(gamma_eta, 1, feature_dim_, feature_dim_);
+  // γ, η broadcast over the n rows of h.
+  return tensor::Add(tensor::Mul(h, gamma), eta);
+}
+
+}  // namespace fewner::nn

@@ -1,0 +1,93 @@
+// Basic layers: Linear, Embedding, LayerNorm, and the FiLM generator used to
+// condition the backbone on FEWNER's task context parameters.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace fewner::nn {
+
+/// Affine map y = x W + b for x of shape [n, in_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+         bool with_bias = true);
+
+  /// [n, in] -> [n, out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool with_bias_;
+  tensor::Tensor weight_;  ///< [in, out]
+  tensor::Tensor bias_;    ///< [out]
+};
+
+/// Lookup table mapping token ids to dense rows.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng, float stddev = 0.1f);
+
+  /// ids -> [ids.size(), dim].
+  tensor::Tensor Forward(const std::vector<int64_t>& ids) const;
+
+  /// Overwrites initial values (e.g. with pre-computed hash embeddings); the
+  /// table stays trainable, matching the paper's fine-tuned GloVe usage.
+  void LoadPretrained(const std::vector<std::vector<float>>& rows);
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  tensor::Tensor table_;  ///< [vocab, dim]
+};
+
+/// Per-row layer normalization with learned gain/bias, for the LM baselines.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  /// [n, dim] -> [n, dim].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+ private:
+  int64_t dim_;
+  float eps_;
+  tensor::Tensor gain_;  ///< [dim]
+  tensor::Tensor bias_;  ///< [dim]
+};
+
+/// FiLM generator (paper Eq. 8–9): maps the context vector φ to a per-feature
+/// affine transform (γ, η) applied to hidden states h: FiLM(h) = γ ⊙ h + η.
+///
+/// The generator bias initializes γ to 1 and η to 0, so that φ = 0 (the reset
+/// value at the start of every inner loop) leaves the backbone untouched.
+class FilmGenerator : public Module {
+ public:
+  /// `context_dim` is |φ|; `feature_dim` is the size of the modulated features.
+  FilmGenerator(int64_t context_dim, int64_t feature_dim, util::Rng* rng);
+
+  /// Applies FiLM conditioning: h [n, feature_dim], phi [context_dim].
+  tensor::Tensor Forward(const tensor::Tensor& h, const tensor::Tensor& phi) const;
+
+  int64_t context_dim() const { return context_dim_; }
+
+ private:
+  int64_t context_dim_;
+  int64_t feature_dim_;
+  tensor::Tensor weight_;  ///< [context_dim, 2*feature_dim]
+  tensor::Tensor bias_;    ///< [2*feature_dim], γ-part initialized to 1
+};
+
+}  // namespace fewner::nn

@@ -1,0 +1,110 @@
+#include "nn/module.h"
+
+#include "util/status.h"
+
+namespace fewner::nn {
+
+void Module::RegisterParameter(const std::string& name, tensor::Tensor* param) {
+  FEWNER_CHECK(param != nullptr && param->defined(),
+               "RegisterParameter(" << name << ") on undefined tensor");
+  own_params_.emplace_back(name, param);
+}
+
+void Module::RegisterModule(const std::string& name, Module* module) {
+  FEWNER_CHECK(module != nullptr, "RegisterModule(" << name << ") on null module");
+  submodules_.emplace_back(name, module);
+}
+
+void Module::CollectNamed(const std::string& prefix,
+                          std::vector<std::pair<std::string, tensor::Tensor*>>* out) {
+  for (auto& [name, param] : own_params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, param);
+  }
+  for (auto& [name, sub] : submodules_) {
+    sub->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<tensor::Tensor*> Module::Parameters() {
+  std::vector<std::pair<std::string, tensor::Tensor*>> named;
+  CollectNamed("", &named);
+  std::vector<tensor::Tensor*> out;
+  out.reserve(named.size());
+  for (auto& [name, param] : named) out.push_back(param);
+  return out;
+}
+
+std::vector<std::pair<std::string, tensor::Tensor*>> Module::NamedParameters() {
+  std::vector<std::pair<std::string, tensor::Tensor*>> named;
+  CollectNamed("", &named);
+  return named;
+}
+
+int64_t Module::ParameterCount() {
+  int64_t total = 0;
+  for (tensor::Tensor* p : Parameters()) total += p->numel();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, sub] : submodules_) sub->SetTraining(training);
+}
+
+void Module::CopyParametersFrom(Module* other) {
+  auto mine = Parameters();
+  auto theirs = other->Parameters();
+  FEWNER_CHECK(mine.size() == theirs.size(),
+               "CopyParametersFrom: layout mismatch (" << mine.size() << " vs "
+                                                       << theirs.size() << " slots)");
+  for (size_t i = 0; i < mine.size(); ++i) {
+    FEWNER_CHECK(mine[i]->shape() == theirs[i]->shape(),
+                 "CopyParametersFrom: shape mismatch at slot " << i);
+    *mine[i] = tensor::Tensor::FromData(theirs[i]->shape(), theirs[i]->data(),
+                                        /*requires_grad=*/true);
+  }
+}
+
+std::vector<tensor::Tensor> ParameterTensors(Module* module) {
+  std::vector<tensor::Tensor> out;
+  for (tensor::Tensor* slot : module->Parameters()) out.push_back(*slot);
+  return out;
+}
+
+std::vector<std::vector<float>> SnapshotParameterValues(Module* module) {
+  std::vector<std::vector<float>> out;
+  for (tensor::Tensor* slot : module->Parameters()) out.push_back(slot->data());
+  return out;
+}
+
+void RestoreParameterValues(Module* module,
+                            const std::vector<std::vector<float>>& values) {
+  auto slots = module->Parameters();
+  FEWNER_CHECK(slots.size() == values.size(), "RestoreParameterValues layout mismatch");
+  for (size_t i = 0; i < slots.size(); ++i) {
+    FEWNER_CHECK(slots[i]->data().size() == values[i].size(),
+                 "RestoreParameterValues size mismatch at slot " << i);
+    *slots[i]->mutable_data() = values[i];
+  }
+}
+
+ParameterPatch::ParameterPatch(std::vector<tensor::Tensor*> slots,
+                               const std::vector<tensor::Tensor>& values)
+    : slots_(std::move(slots)) {
+  FEWNER_CHECK(slots_.size() == values.size(),
+               "ParameterPatch: " << slots_.size() << " slots for " << values.size()
+                                  << " values");
+  saved_.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    FEWNER_CHECK(slots_[i]->shape() == values[i].shape(),
+                 "ParameterPatch shape mismatch at slot " << i);
+    saved_.push_back(*slots_[i]);
+    *slots_[i] = values[i];
+  }
+}
+
+ParameterPatch::~ParameterPatch() {
+  for (size_t i = 0; i < slots_.size(); ++i) *slots_[i] = saved_[i];
+}
+
+}  // namespace fewner::nn

@@ -1,0 +1,90 @@
+// Module: base class for neural network components.
+//
+// A module owns leaf parameter tensors and registers them (and submodules) by
+// name.  Parameters are exposed as *slots* (Tensor*), which enables the
+// functional parameter patching MAML-style inner loops need: a ParameterPatch
+// temporarily replaces the tensor in a slot with an updated graph node, runs
+// the forward pass, and restores the leaf afterwards.  Gradients then flow
+// from the query loss through the patched values back to the original leaves.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fewner::nn {
+
+/// Base class for layers and models.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameter slots, including those of registered submodules.
+  std::vector<tensor::Tensor*> Parameters();
+
+  /// (hierarchical name, slot) pairs for all parameters.
+  std::vector<std::pair<std::string, tensor::Tensor*>> NamedParameters();
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount();
+
+  /// Training-mode flag (controls dropout); propagates to submodules.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Copies parameter values from another module with an identical layout.
+  void CopyParametersFrom(Module* other);
+
+ protected:
+  /// Registers a directly owned parameter.  The pointed-to tensor must outlive
+  /// the module (i.e. be a member).
+  void RegisterParameter(const std::string& name, tensor::Tensor* param);
+
+  /// Registers a submodule whose parameters become part of this module's set.
+  void RegisterModule(const std::string& name, Module* module);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, tensor::Tensor*>>* out);
+
+  std::vector<std::pair<std::string, tensor::Tensor*>> own_params_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+  bool training_ = true;
+};
+
+/// Snapshot of a module's parameters as tensor handles, in slot order —
+/// the form autodiff::Grad consumes.
+std::vector<tensor::Tensor> ParameterTensors(Module* module);
+
+/// Deep copy of parameter values (for save/adapt/restore at evaluation time).
+std::vector<std::vector<float>> SnapshotParameterValues(Module* module);
+
+/// Restores values captured by SnapshotParameterValues.
+void RestoreParameterValues(Module* module,
+                            const std::vector<std::vector<float>>& values);
+
+/// RAII guard that replaces parameter slots with new tensors (e.g. inner-loop
+/// adapted values) and restores the originals on destruction.
+class ParameterPatch {
+ public:
+  /// `slots[i]` is replaced by `values[i]`; sizes must match.
+  ParameterPatch(std::vector<tensor::Tensor*> slots,
+                 const std::vector<tensor::Tensor>& values);
+  ~ParameterPatch();
+
+  ParameterPatch(const ParameterPatch&) = delete;
+  ParameterPatch& operator=(const ParameterPatch&) = delete;
+
+ private:
+  std::vector<tensor::Tensor*> slots_;
+  std::vector<tensor::Tensor> saved_;
+};
+
+}  // namespace fewner::nn

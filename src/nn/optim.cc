@@ -1,0 +1,83 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace fewner::nn {
+
+using tensor::Tensor;
+
+float ClipGradNorm(std::vector<Tensor>* grads, float max_norm) {
+  FEWNER_CHECK(max_norm > 0.0f, "ClipGradNorm requires max_norm > 0");
+  double total_sq = 0.0;
+  for (const Tensor& g : *grads) {
+    for (float v : g.data()) total_sq += static_cast<double>(v) * v;
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (Tensor& g : *grads) {
+      // Gradients from Grad(..., create_graph=false) are detached leaves.
+      for (float& v : *g.mutable_data()) v *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor*> params, float lr, float weight_decay)
+    : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step(const std::vector<Tensor>& grads) {
+  FEWNER_CHECK(grads.size() == params_.size(),
+               "Sgd::Step: " << grads.size() << " grads for " << params_.size()
+                             << " params");
+  for (size_t i = 0; i < params_.size(); ++i) {
+    std::vector<float>* values = params_[i]->mutable_data();
+    const auto& g = grads[i].data();
+    FEWNER_CHECK(g.size() == values->size(), "Sgd::Step: size mismatch at " << i);
+    for (size_t j = 0; j < values->size(); ++j) {
+      (*values)[j] -= lr_ * (g[j] + weight_decay_ * (*values)[j]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor*> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i]->data().size(), 0.0f);
+    v_[i].assign(params_[i]->data().size(), 0.0f);
+  }
+}
+
+void Adam::Step(const std::vector<Tensor>& grads) {
+  FEWNER_CHECK(grads.size() == params_.size(),
+               "Adam::Step: " << grads.size() << " grads for " << params_.size()
+                              << " params");
+  ++step_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    std::vector<float>* values = params_[i]->mutable_data();
+    const auto& g = grads[i].data();
+    FEWNER_CHECK(g.size() == values->size(), "Adam::Step: size mismatch at " << i);
+    for (size_t j = 0; j < values->size(); ++j) {
+      const float grad = g[j] + weight_decay_ * (*values)[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * grad;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m_[i][j] / bias1;
+      const float v_hat = v_[i][j] / bias2;
+      (*values)[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace fewner::nn

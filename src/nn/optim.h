@@ -1,0 +1,62 @@
+// Optimizers for the outer (meta) loop and for conventionally trained
+// baselines.  Optimizers operate on parameter *slots* (Tensor*) and consume
+// detached gradient tensors from autodiff::Grad.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fewner::nn {
+
+/// Rescales gradients in place so their global L2 norm is at most `max_norm`
+/// (paper: clip 5.0).  Returns the pre-clip norm.
+float ClipGradNorm(std::vector<tensor::Tensor>* grads, float max_norm);
+
+/// Plain SGD with optional L2 weight decay, matching the paper's inner loop.
+class Sgd {
+ public:
+  Sgd(std::vector<tensor::Tensor*> params, float lr, float weight_decay = 0.0f);
+
+  /// params[i] <- params[i] - lr * (grads[i] + weight_decay * params[i]).
+  void Step(const std::vector<tensor::Tensor>& grads);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<tensor::Tensor*> params_;
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with optional L2 weight decay and step-decay schedule
+/// (the paper decays by 0.9 every 5000 tasks).
+class Adam {
+ public:
+  Adam(std::vector<tensor::Tensor*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step(const std::vector<tensor::Tensor>& grads);
+
+  /// Multiplies the learning rate by `factor` (e.g. 0.9 on a decay boundary).
+  void DecayLr(float factor) { lr_ *= factor; }
+
+  float lr() const { return lr_; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<tensor::Tensor*> params_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;  ///< first moments, one per param
+  std::vector<std::vector<float>> v_;  ///< second moments
+};
+
+}  // namespace fewner::nn

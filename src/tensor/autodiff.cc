@@ -1,0 +1,145 @@
+#include "tensor/autodiff.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace fewner::tensor::autodiff {
+
+namespace {
+
+/// Post-order (inputs before consumers) list of requires_grad nodes reachable
+/// from `root`, computed iteratively to survive deep graphs.
+std::vector<Tensor> TopologicalOrder(const Tensor& root) {
+  std::vector<Tensor> order;
+  std::unordered_set<internal::Node*> visited;
+  // Stack frames: (tensor, next input index to expand).
+  std::vector<std::pair<Tensor, size_t>> stack;
+  if (!root.requires_grad()) return order;
+  stack.emplace_back(root, 0);
+  visited.insert(root.node());
+  while (!stack.empty()) {
+    auto& [tensor, next] = stack.back();
+    const auto& inputs = tensor.node()->inputs;
+    bool descended = false;
+    while (next < inputs.size()) {
+      const Tensor& child = inputs[next++];
+      if (child.requires_grad() && !visited.count(child.node())) {
+        visited.insert(child.node());
+        stack.emplace_back(child, 0);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && next >= tensor.node()->inputs.size()) {
+      order.push_back(tensor);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Tensor> Grad(const Tensor& output, const std::vector<Tensor>& inputs,
+                         bool create_graph) {
+  FEWNER_CHECK(output.defined(), "Grad on undefined output");
+  FEWNER_CHECK(output.numel() == 1,
+               "Grad expects a scalar loss, got shape " << output.shape().ToString());
+  for (const Tensor& input : inputs) {
+    FEWNER_CHECK(input.defined(), "Grad on undefined input");
+    FEWNER_CHECK(input.requires_grad(),
+                 "Grad requested for a tensor that does not require grad (op: "
+                     << input.op_name() << ")");
+  }
+
+  std::vector<Tensor> order = TopologicalOrder(output);
+
+  // A node is "needed" if a requested input is reachable from it; we only run
+  // backward through needed nodes.  Inputs appear before consumers in `order`,
+  // so one forward scan suffices.
+  std::unordered_set<internal::Node*> requested;
+  for (const Tensor& input : inputs) requested.insert(input.node());
+  std::unordered_set<internal::Node*> needed;
+  for (const Tensor& t : order) {
+    if (requested.count(t.node())) {
+      needed.insert(t.node());
+      continue;
+    }
+    for (const Tensor& child : t.node()->inputs) {
+      if (child.requires_grad() && needed.count(child.node())) {
+        needed.insert(t.node());
+        break;
+      }
+    }
+  }
+
+  std::unordered_map<internal::Node*, Tensor> grads;
+  if (output.requires_grad() && needed.count(output.node())) {
+    grads[output.node()] = Tensor::Ones(output.shape());
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Tensor& t = *it;
+    if (!needed.count(t.node())) continue;
+    auto grad_it = grads.find(t.node());
+    if (grad_it == grads.end()) continue;  // output does not depend on this node
+    if (t.node()->inputs.empty() || !t.node()->backward) continue;
+    std::vector<Tensor> input_grads = t.node()->backward(t, grad_it->second);
+    FEWNER_CHECK(input_grads.size() == t.node()->inputs.size(),
+                 "backward of " << t.op_name() << " returned " << input_grads.size()
+                                << " grads for " << t.node()->inputs.size()
+                                << " inputs");
+    for (size_t i = 0; i < input_grads.size(); ++i) {
+      const Tensor& child = t.node()->inputs[i];
+      if (!child.requires_grad() || !needed.count(child.node())) continue;
+      const Tensor& g = input_grads[i];
+      FEWNER_CHECK(g.defined(), "backward of " << t.op_name()
+                                               << " returned undefined grad for a "
+                                                  "requires_grad input");
+      FEWNER_CHECK(g.shape() == child.shape(),
+                   "backward of " << t.op_name() << " produced grad shape "
+                                  << g.shape().ToString() << " for input shape "
+                                  << child.shape().ToString());
+      auto existing = grads.find(child.node());
+      if (existing == grads.end()) {
+        grads[child.node()] = g;
+      } else {
+        existing->second = Add(existing->second, g);
+      }
+    }
+  }
+
+  std::vector<Tensor> result;
+  result.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    auto it2 = grads.find(input.node());
+    if (it2 == grads.end()) {
+      result.push_back(Tensor::Zeros(input.shape()));
+    } else {
+      result.push_back(create_graph ? it2->second : it2->second.Detach());
+    }
+  }
+  return result;
+}
+
+int64_t GraphSize(const Tensor& t) {
+  if (!t.defined()) return 0;
+  std::unordered_set<internal::Node*> visited;
+  std::vector<Tensor> stack{t};
+  visited.insert(t.node());
+  while (!stack.empty()) {
+    Tensor current = stack.back();
+    stack.pop_back();
+    for (const Tensor& child : current.node()->inputs) {
+      if (!visited.count(child.node())) {
+        visited.insert(child.node());
+        stack.push_back(child);
+      }
+    }
+  }
+  return static_cast<int64_t>(visited.size());
+}
+
+}  // namespace fewner::tensor::autodiff

@@ -1,0 +1,632 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+namespace fewner::tensor {
+
+namespace {
+
+/// Builds an op node.  requires_grad is inherited from any input.
+Tensor MakeOp(const char* op, Shape shape, std::vector<float> values,
+              std::vector<Tensor> inputs, BackwardFn backward) {
+  auto node = std::make_shared<internal::Node>();
+  node->shape = std::move(shape);
+  node->values = std::move(values);
+  node->op = op;
+  bool rg = false;
+  for (const Tensor& in : inputs) rg = rg || in.requires_grad();
+  node->requires_grad = rg;
+  node->inputs = std::move(inputs);
+  if (rg) node->backward = std::move(backward);
+  return Tensor::FromNode(std::move(node));
+}
+
+/// Maps a flat index in `out_shape` to a flat index in `in_shape`
+/// (right-aligned broadcasting; size-1 dims in the input are pinned to 0).
+struct BroadcastIndexer {
+  explicit BroadcastIndexer(const Shape& in_shape, const Shape& out_shape) {
+    const int64_t out_rank = out_shape.rank();
+    const int64_t offset = out_rank - in_shape.rank();
+    out_dims = out_shape.dims();
+    in_strides.assign(static_cast<size_t>(out_rank), 0);
+    std::vector<int64_t> strides = in_shape.Strides();
+    for (int64_t i = 0; i < in_shape.rank(); ++i) {
+      if (in_shape.dim(i) != 1) {
+        in_strides[static_cast<size_t>(i + offset)] = strides[static_cast<size_t>(i)];
+      }
+    }
+  }
+
+  int64_t Map(int64_t out_flat) const {
+    int64_t in_flat = 0;
+    for (int64_t i = static_cast<int64_t>(out_dims.size()) - 1; i >= 0; --i) {
+      const int64_t d = out_dims[static_cast<size_t>(i)];
+      const int64_t coord = out_flat % d;
+      out_flat /= d;
+      in_flat += coord * in_strides[static_cast<size_t>(i)];
+    }
+    return in_flat;
+  }
+
+  std::vector<int64_t> out_dims;
+  std::vector<int64_t> in_strides;
+};
+
+using BinaryFn = float (*)(float, float);
+
+/// Shared implementation for broadcasting elementwise binary ops.
+Tensor ElementwiseBinary(const char* op, const Tensor& a, const Tensor& b, BinaryFn f,
+                         BackwardFn backward) {
+  FEWNER_CHECK(a.defined() && b.defined(), op << " on undefined tensor");
+  if (a.shape() == b.shape()) {
+    const auto& av = a.data();
+    const auto& bv = b.data();
+    std::vector<float> out(av.size());
+    for (size_t i = 0; i < av.size(); ++i) out[i] = f(av[i], bv[i]);
+    return MakeOp(op, a.shape(), std::move(out), {a, b}, std::move(backward));
+  }
+  auto result_shape = Shape::Broadcast(a.shape(), b.shape());
+  FEWNER_CHECK(result_shape.ok(), op << ": " << result_shape.status().ToString());
+  Shape shape = std::move(result_shape).value();
+  BroadcastIndexer ia(a.shape(), shape);
+  BroadcastIndexer ib(b.shape(), shape);
+  const int64_t n = shape.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = f(av[static_cast<size_t>(ia.Map(i))],
+                                    bv[static_cast<size_t>(ib.Map(i))]);
+  }
+  return MakeOp(op, std::move(shape), std::move(out), {a, b}, std::move(backward));
+}
+
+using UnaryFn = float (*)(float);
+
+/// Shared implementation for elementwise unary ops.
+Tensor ElementwiseUnary(const char* op, const Tensor& t, UnaryFn f,
+                        BackwardFn backward) {
+  FEWNER_CHECK(t.defined(), op << " on undefined tensor");
+  const auto& tv = t.data();
+  std::vector<float> out(tv.size());
+  for (size_t i = 0; i < tv.size(); ++i) out[i] = f(tv[i]);
+  return MakeOp(op, t.shape(), std::move(out), {t}, std::move(backward));
+}
+
+}  // namespace
+
+// ----- elementwise binary -----
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  return ElementwiseBinary(
+      "add", a, b, [](float x, float y) { return x + y; },
+      [sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
+        return {SumTo(grad, sa), SumTo(grad, sb)};
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  return ElementwiseBinary(
+      "sub", a, b, [](float x, float y) { return x - y; },
+      [sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
+        return {SumTo(grad, sa), SumTo(Neg(grad), sb)};
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  return ElementwiseBinary(
+      "mul", a, b, [](float x, float y) { return x * y; },
+      [a, b, sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
+        return {SumTo(Mul(grad, b), sa), SumTo(Mul(grad, a), sb)};
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  return ElementwiseBinary(
+      "div", a, b, [](float x, float y) { return x / y; },
+      [a, b, sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
+        Tensor ga = SumTo(Div(grad, b), sa);
+        Tensor gb = SumTo(Neg(Div(Mul(grad, a), Mul(b, b))), sb);
+        return {ga, gb};
+      });
+}
+
+// ----- elementwise unary -----
+
+Tensor Neg(const Tensor& t) {
+  return ElementwiseUnary(
+      "neg", t, [](float x) { return -x; },
+      [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+        return {Neg(grad)};
+      });
+}
+
+Tensor Sigmoid(const Tensor& t) {
+  return ElementwiseUnary(
+      "sigmoid", t, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+        // d/dx sigmoid = y * (1 - y), with y the op output (still in-graph).
+        Tensor one_minus = AddScalar(Neg(self), 1.0f);
+        return {Mul(grad, Mul(self, one_minus))};
+      });
+}
+
+Tensor Tanh(const Tensor& t) {
+  return ElementwiseUnary(
+      "tanh", t, [](float x) { return std::tanh(x); },
+      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+        return {Mul(grad, AddScalar(Neg(Mul(self, self)), 1.0f))};
+      });
+}
+
+Tensor Relu(const Tensor& t) {
+  // The 0/1 mask is a local constant of the input sign pattern; its own
+  // derivative is zero a.e., so a constant tensor is the right backward here
+  // even under create_graph.
+  std::vector<float> mask(t.data().size());
+  for (size_t i = 0; i < mask.size(); ++i) mask[i] = t.data()[i] > 0.0f ? 1.0f : 0.0f;
+  Tensor mask_t = Tensor::FromData(t.shape(), std::move(mask));
+  return ElementwiseUnary(
+      "relu", t, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [mask_t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+        return {Mul(grad, mask_t)};
+      });
+}
+
+Tensor Exp(const Tensor& t) {
+  return ElementwiseUnary(
+      "exp", t, [](float x) { return std::exp(x); },
+      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+        return {Mul(grad, self)};
+      });
+}
+
+Tensor Log(const Tensor& t) {
+  return ElementwiseUnary(
+      "log", t, [](float x) { return std::log(x); },
+      [t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+        return {Div(grad, t)};
+      });
+}
+
+Tensor Sqrt(const Tensor& t) {
+  return ElementwiseUnary(
+      "sqrt", t, [](float x) { return std::sqrt(x); },
+      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+        return {Div(MulScalar(grad, 0.5f), self)};
+      });
+}
+
+Tensor Square(const Tensor& t) { return Mul(t, t); }
+
+// ----- scalar forms -----
+
+Tensor AddScalar(const Tensor& t, float c) {
+  std::vector<float> out(t.data());
+  for (float& v : out) v += c;
+  return MakeOp("add_scalar", t.shape(), std::move(out), {t},
+                [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {grad};
+                });
+}
+
+Tensor MulScalar(const Tensor& t, float c) {
+  std::vector<float> out(t.data());
+  for (float& v : out) v *= c;
+  return MakeOp("mul_scalar", t.shape(), std::move(out), {t},
+                [c](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {MulScalar(grad, c)};
+                });
+}
+
+// ----- shape manipulation -----
+
+Tensor Reshape(const Tensor& t, Shape shape) {
+  FEWNER_CHECK(shape.numel() == t.numel(), "Reshape " << t.shape().ToString() << " -> "
+                                                      << shape.ToString());
+  Shape original = t.shape();
+  return MakeOp("reshape", std::move(shape), t.data(), {t},
+                [original](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {Reshape(grad, original)};
+                });
+}
+
+Tensor Transpose(const Tensor& t) {
+  FEWNER_CHECK(t.rank() == 2, "Transpose requires rank 2, got " << t.shape().ToString());
+  const int64_t m = t.shape().dim(0);
+  const int64_t n = t.shape().dim(1);
+  std::vector<float> out(static_cast<size_t>(m * n));
+  const auto& tv = t.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j * m + i)] = tv[static_cast<size_t>(i * n + j)];
+    }
+  }
+  return MakeOp("transpose", Shape{n, m}, std::move(out), {t},
+                [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {Transpose(grad)};
+                });
+}
+
+Tensor BroadcastTo(const Tensor& t, Shape shape) {
+  if (t.shape() == shape) return t;
+  FEWNER_CHECK(t.shape().BroadcastableTo(shape),
+               "BroadcastTo " << t.shape().ToString() << " -> " << shape.ToString());
+  BroadcastIndexer indexer(t.shape(), shape);
+  const int64_t n = shape.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const auto& tv = t.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = tv[static_cast<size_t>(indexer.Map(i))];
+  }
+  Shape in_shape = t.shape();
+  return MakeOp("broadcast_to", std::move(shape), std::move(out), {t},
+                [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {SumTo(grad, in_shape)};
+                });
+}
+
+Tensor SumTo(const Tensor& t, Shape shape) {
+  if (t.shape() == shape) return t;
+  FEWNER_CHECK(shape.BroadcastableTo(t.shape()),
+               "SumTo " << t.shape().ToString() << " -> " << shape.ToString());
+  BroadcastIndexer indexer(shape, t.shape());
+  const int64_t n = t.numel();
+  std::vector<float> out(static_cast<size_t>(shape.numel()), 0.0f);
+  const auto& tv = t.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(indexer.Map(i))] += tv[static_cast<size_t>(i)];
+  }
+  Shape in_shape = t.shape();
+  return MakeOp("sum_to", std::move(shape), std::move(out), {t},
+                [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {BroadcastTo(grad, in_shape)};
+                });
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
+  FEWNER_CHECK(!tensors.empty(), "Concat of zero tensors");
+  if (tensors.size() == 1) return tensors[0];
+  const Shape& first = tensors[0].shape();
+  FEWNER_CHECK(axis >= 0 && axis < first.rank(),
+               "Concat axis " << axis << " out of range for " << first.ToString());
+  int64_t axis_total = 0;
+  for (const Tensor& t : tensors) {
+    FEWNER_CHECK(t.rank() == first.rank(), "Concat rank mismatch");
+    for (int64_t d = 0; d < first.rank(); ++d) {
+      if (d != axis) {
+        FEWNER_CHECK(t.shape().dim(d) == first.dim(d),
+                     "Concat dim mismatch at axis " << d);
+      }
+    }
+    axis_total += t.shape().dim(axis);
+  }
+  std::vector<int64_t> out_dims = first.dims();
+  out_dims[static_cast<size_t>(axis)] = axis_total;
+  Shape out_shape{std::vector<int64_t>(out_dims)};
+
+  // outer = product of dims before axis; inner = product after axis.
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= first.dim(d);
+  for (int64_t d = axis + 1; d < first.rank(); ++d) inner *= first.dim(d);
+
+  std::vector<float> out(static_cast<size_t>(out_shape.numel()));
+  int64_t offset = 0;  // running position along the concat axis
+  for (const Tensor& t : tensors) {
+    const int64_t ta = t.shape().dim(axis);
+    const auto& tv = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(&out[static_cast<size_t>((o * axis_total + offset) * inner)],
+                  &tv[static_cast<size_t>(o * ta * inner)],
+                  static_cast<size_t>(ta * inner) * sizeof(float));
+    }
+    offset += ta;
+  }
+
+  std::vector<int64_t> sizes;
+  sizes.reserve(tensors.size());
+  for (const Tensor& t : tensors) sizes.push_back(t.shape().dim(axis));
+  return MakeOp("concat", std::move(out_shape), std::move(out), tensors,
+                [axis, sizes](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  std::vector<Tensor> grads;
+                  grads.reserve(sizes.size());
+                  int64_t start = 0;
+                  for (int64_t size : sizes) {
+                    grads.push_back(Slice(grad, axis, start, size));
+                    start += size;
+                  }
+                  return grads;
+                });
+}
+
+Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
+  const Shape& shape = t.shape();
+  FEWNER_CHECK(axis >= 0 && axis < shape.rank(), "Slice axis out of range");
+  FEWNER_CHECK(start >= 0 && length >= 0 && start + length <= shape.dim(axis),
+               "Slice [" << start << ", " << start + length << ") out of range for dim "
+                         << shape.dim(axis));
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= shape.dim(d);
+  for (int64_t d = axis + 1; d < shape.rank(); ++d) inner *= shape.dim(d);
+  const int64_t axis_size = shape.dim(axis);
+
+  std::vector<int64_t> out_dims = shape.dims();
+  out_dims[static_cast<size_t>(axis)] = length;
+  Shape out_shape{std::vector<int64_t>(out_dims)};
+  std::vector<float> out(static_cast<size_t>(out_shape.numel()));
+  const auto& tv = t.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(&out[static_cast<size_t>(o * length * inner)],
+                &tv[static_cast<size_t>((o * axis_size + start) * inner)],
+                static_cast<size_t>(length * inner) * sizeof(float));
+  }
+
+  // Backward pads the gradient back to the input extent with zero blocks; the
+  // zero constants carry no higher-order terms, which is exact for slicing.
+  std::vector<int64_t> before_dims = shape.dims();
+  before_dims[static_cast<size_t>(axis)] = start;
+  std::vector<int64_t> after_dims = shape.dims();
+  after_dims[static_cast<size_t>(axis)] = axis_size - start - length;
+  Shape before_shape{std::vector<int64_t>(before_dims)};
+  Shape after_shape{std::vector<int64_t>(after_dims)};
+  return MakeOp(
+      "slice", std::move(out_shape), std::move(out), {t},
+      [axis, before_shape, after_shape](const Tensor&,
+                                        const Tensor& grad) -> std::vector<Tensor> {
+        std::vector<Tensor> pieces;
+        if (before_shape.dim(axis) > 0) pieces.push_back(Tensor::Zeros(before_shape));
+        pieces.push_back(grad);
+        if (after_shape.dim(axis) > 0) pieces.push_back(Tensor::Zeros(after_shape));
+        return {Concat(pieces, axis)};
+      });
+}
+
+// ----- reductions -----
+
+Tensor SumAll(const Tensor& t) {
+  double total = 0.0;
+  for (float v : t.data()) total += v;
+  Shape in_shape = t.shape();
+  return MakeOp("sum_all", Shape{}, {static_cast<float>(total)}, {t},
+                [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {BroadcastTo(grad, in_shape)};
+                });
+}
+
+Tensor SumAxis(const Tensor& t, int64_t axis, bool keepdim) {
+  const Shape& shape = t.shape();
+  FEWNER_CHECK(axis >= 0 && axis < shape.rank(), "SumAxis axis out of range");
+  std::vector<int64_t> keep_dims = shape.dims();
+  keep_dims[static_cast<size_t>(axis)] = 1;
+  Shape keep_shape{std::vector<int64_t>(keep_dims)};
+  Tensor summed = SumTo(t, keep_shape);
+  if (keepdim) return summed;
+  std::vector<int64_t> out_dims;
+  for (int64_t d = 0; d < shape.rank(); ++d) {
+    if (d != axis) out_dims.push_back(shape.dim(d));
+  }
+  return Reshape(summed, Shape{std::move(out_dims)});
+}
+
+Tensor MeanAll(const Tensor& t) {
+  return MulScalar(SumAll(t), 1.0f / static_cast<float>(t.numel()));
+}
+
+Tensor MaxAxis(const Tensor& t, int64_t axis, bool keepdim) {
+  const Shape& shape = t.shape();
+  FEWNER_CHECK(axis >= 0 && axis < shape.rank(), "MaxAxis axis out of range");
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= shape.dim(d);
+  for (int64_t d = axis + 1; d < shape.rank(); ++d) inner *= shape.dim(d);
+  const int64_t axis_size = shape.dim(axis);
+  FEWNER_CHECK(axis_size > 0, "MaxAxis over empty axis");
+
+  std::vector<int64_t> keep_dims = shape.dims();
+  keep_dims[static_cast<size_t>(axis)] = 1;
+  Shape keep_shape{std::vector<int64_t>(keep_dims)};
+
+  const auto& tv = t.data();
+  std::vector<float> out(static_cast<size_t>(outer * inner));
+  // One-hot selection mask: locally constant, exact a.e. under create_graph.
+  std::vector<float> mask(tv.size(), 0.0f);
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      int64_t best = 0;
+      float best_v = tv[static_cast<size_t>(o * axis_size * inner + i)];
+      for (int64_t a = 1; a < axis_size; ++a) {
+        const float v = tv[static_cast<size_t>((o * axis_size + a) * inner + i)];
+        if (v > best_v) {
+          best_v = v;
+          best = a;
+        }
+      }
+      out[static_cast<size_t>(o * inner + i)] = best_v;
+      mask[static_cast<size_t>((o * axis_size + best) * inner + i)] = 1.0f;
+    }
+  }
+  Tensor mask_t = Tensor::FromData(shape, std::move(mask));
+  Shape in_shape = shape;
+  Tensor result = MakeOp(
+      "max_axis", keep_shape, std::move(out), {t},
+      [mask_t, keep_shape, in_shape](const Tensor&,
+                                     const Tensor& grad) -> std::vector<Tensor> {
+        Tensor g = Reshape(grad, keep_shape);
+        return {Mul(BroadcastTo(g, in_shape), mask_t)};
+      });
+  if (keepdim) return result;
+  std::vector<int64_t> out_dims;
+  for (int64_t d = 0; d < shape.rank(); ++d) {
+    if (d != axis) out_dims.push_back(shape.dim(d));
+  }
+  return Reshape(result, Shape{std::move(out_dims)});
+}
+
+// ----- linear algebra -----
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FEWNER_CHECK(a.rank() == 2 && b.rank() == 2,
+               "MatMul requires rank-2 operands, got " << a.shape().ToString() << " x "
+                                                       << b.shape().ToString());
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  FEWNER_CHECK(b.shape().dim(0) == k, "MatMul inner dim mismatch: "
+                                          << a.shape().ToString() << " x "
+                                          << b.shape().ToString());
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  // i-k-j loop order: unit-stride inner loop over the output row.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = av[static_cast<size_t>(i * k + kk)];
+      if (aik == 0.0f) continue;
+      const float* brow = &bv[static_cast<size_t>(kk * n)];
+      float* orow = &out[static_cast<size_t>(i * n)];
+      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return MakeOp("matmul", Shape{m, n}, std::move(out), {a, b},
+                [a, b](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {MatMul(grad, Transpose(b)), MatMul(Transpose(a), grad)};
+                });
+}
+
+// ----- gather / scatter -----
+
+Tensor IndexSelectRows(const Tensor& t, const std::vector<int64_t>& indices) {
+  FEWNER_CHECK(t.rank() == 2, "IndexSelectRows requires rank 2");
+  const int64_t v = t.shape().dim(0);
+  const int64_t d = t.shape().dim(1);
+  std::vector<float> out(indices.size() * static_cast<size_t>(d));
+  const auto& tv = t.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    FEWNER_CHECK(row >= 0 && row < v, "IndexSelectRows index " << row << " out of [0, "
+                                                               << v << ")");
+    std::memcpy(&out[i * static_cast<size_t>(d)], &tv[static_cast<size_t>(row * d)],
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  std::vector<int64_t> idx = indices;
+  return MakeOp("index_select_rows",
+                Shape{static_cast<int64_t>(indices.size()), d}, std::move(out), {t},
+                [idx, v](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {ScatterAddRows(grad, idx, v)};
+                });
+}
+
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
+                      int64_t num_rows) {
+  FEWNER_CHECK(src.rank() == 2, "ScatterAddRows requires rank 2");
+  FEWNER_CHECK(static_cast<int64_t>(indices.size()) == src.shape().dim(0),
+               "ScatterAddRows: " << indices.size() << " indices for "
+                                  << src.shape().dim(0) << " rows");
+  const int64_t d = src.shape().dim(1);
+  std::vector<float> out(static_cast<size_t>(num_rows * d), 0.0f);
+  const auto& sv = src.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    FEWNER_CHECK(row >= 0 && row < num_rows, "ScatterAddRows index out of range");
+    for (int64_t j = 0; j < d; ++j) {
+      out[static_cast<size_t>(row * d + j)] += sv[i * static_cast<size_t>(d) +
+                                                  static_cast<size_t>(j)];
+    }
+  }
+  std::vector<int64_t> idx = indices;
+  return MakeOp("scatter_add_rows", Shape{num_rows, d}, std::move(out), {src},
+                [idx](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {IndexSelectRows(grad, idx)};
+                });
+}
+
+Tensor Unfold1d(const Tensor& t, int64_t window) {
+  FEWNER_CHECK(t.rank() == 2, "Unfold1d requires rank 2");
+  const int64_t length = t.shape().dim(0);
+  const int64_t d = t.shape().dim(1);
+  FEWNER_CHECK(window >= 1 && window <= length,
+               "Unfold1d window " << window << " for length " << length);
+  const int64_t m = length - window + 1;
+  std::vector<float> out(static_cast<size_t>(m * window * d));
+  const auto& tv = t.data();
+  for (int64_t i = 0; i < m; ++i) {
+    std::memcpy(&out[static_cast<size_t>(i * window * d)],
+                &tv[static_cast<size_t>(i * d)],
+                static_cast<size_t>(window * d) * sizeof(float));
+  }
+  return MakeOp("unfold1d", Shape{m, window * d}, std::move(out), {t},
+                [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {Fold1d(grad, window)};
+                });
+}
+
+Tensor Fold1d(const Tensor& t, int64_t window) {
+  FEWNER_CHECK(t.rank() == 2, "Fold1d requires rank 2");
+  const int64_t m = t.shape().dim(0);
+  const int64_t wd = t.shape().dim(1);
+  FEWNER_CHECK(window >= 1 && wd % window == 0,
+               "Fold1d: window " << window << " does not divide row size " << wd);
+  const int64_t d = wd / window;
+  const int64_t length = m + window - 1;
+  std::vector<float> out(static_cast<size_t>(length * d), 0.0f);
+  const auto& tv = t.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t w = 0; w < window; ++w) {
+      for (int64_t j = 0; j < d; ++j) {
+        out[static_cast<size_t>((i + w) * d + j)] +=
+            tv[static_cast<size_t>(i * wd + w * d + j)];
+      }
+    }
+  }
+  return MakeOp("fold1d", Shape{length, d}, std::move(out), {t},
+                [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                  return {Unfold1d(grad, window)};
+                });
+}
+
+// ----- composites -----
+
+Tensor LogSumExpLastDim(const Tensor& t) {
+  const int64_t axis = t.rank() - 1;
+  FEWNER_CHECK(axis >= 0, "LogSumExpLastDim on a scalar");
+  // Detached max shift: constant w.r.t. differentiation, exact for stability.
+  Tensor m = MaxAxis(t, axis, /*keepdim=*/true).Detach();
+  Tensor shifted = Sub(t, BroadcastTo(m, t.shape()));
+  Tensor lse = Log(SumAxis(Exp(shifted), axis, /*keepdim=*/true));
+  return Add(lse, m);
+}
+
+Tensor LogSoftmaxLastDim(const Tensor& t) {
+  return Sub(t, BroadcastTo(LogSumExpLastDim(t), t.shape()));
+}
+
+Tensor SoftmaxLastDim(const Tensor& t) { return Exp(LogSoftmaxLastDim(t)); }
+
+Tensor Dropout(const Tensor& t, float p, util::Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return t;
+  FEWNER_CHECK(p < 1.0f, "Dropout rate must be < 1");
+  FEWNER_CHECK(rng != nullptr, "Dropout requires an Rng in training mode");
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(t.data().size());
+  for (float& v : mask) v = rng->Bernoulli(p) ? 0.0f : scale;
+  return Mul(t, Tensor::FromData(t.shape(), std::move(mask)));
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  FEWNER_CHECK(!rows.empty(), "StackRows of zero rows");
+  std::vector<Tensor> reshaped;
+  reshaped.reserve(rows.size());
+  const int64_t d = rows[0].numel();
+  for (const Tensor& row : rows) {
+    FEWNER_CHECK(row.numel() == d, "StackRows size mismatch");
+    reshaped.push_back(Reshape(row, Shape{1, d}));
+  }
+  return Concat(reshaped, 0);
+}
+
+}  // namespace fewner::tensor

@@ -1,0 +1,119 @@
+// Differentiable tensor operations.
+//
+// Every op builds a graph node whose backward function is written in terms of
+// these same ops, so calling autodiff::Grad with create_graph=true produces
+// gradients that can be differentiated again (higher-order autodiff).  The only
+// places where a derivative is intentionally treated as locally constant are
+// piecewise-linear kink points (Relu masks, argmax selections) and the detached
+// max-shift inside LogSumExp — all standard and exact almost everywhere.
+//
+// Elementwise binary ops broadcast with NumPy right-aligned rules.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fewner::tensor {
+
+// ----- elementwise binary (broadcasting) -----
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// ----- elementwise unary -----
+
+Tensor Neg(const Tensor& t);
+Tensor Sigmoid(const Tensor& t);
+Tensor Tanh(const Tensor& t);
+Tensor Relu(const Tensor& t);
+Tensor Exp(const Tensor& t);
+Tensor Log(const Tensor& t);   ///< Natural log; inputs must be positive.
+Tensor Sqrt(const Tensor& t);  ///< Inputs must be non-negative.
+Tensor Square(const Tensor& t);
+
+// ----- scalar forms (cheaper than materializing constant tensors) -----
+
+Tensor AddScalar(const Tensor& t, float c);
+Tensor MulScalar(const Tensor& t, float c);
+
+// ----- shape manipulation -----
+
+/// Reinterprets the data with a new shape of identical numel.
+Tensor Reshape(const Tensor& t, Shape shape);
+
+/// 2-D transpose.
+Tensor Transpose(const Tensor& t);
+
+/// Replicates to `shape`; `t.shape()` must be broadcastable to it.
+Tensor BroadcastTo(const Tensor& t, Shape shape);
+
+/// Reduces by summation down to `shape` (the adjoint of BroadcastTo).
+Tensor SumTo(const Tensor& t, Shape shape);
+
+/// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis);
+
+/// Contiguous slice [start, start+length) along `axis`.
+Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length);
+
+// ----- reductions -----
+
+/// Sum of all elements as a rank-0 scalar.
+Tensor SumAll(const Tensor& t);
+
+/// Sum along one axis; keepdim retains the axis with size 1.
+Tensor SumAxis(const Tensor& t, int64_t axis, bool keepdim);
+
+/// Mean of all elements as a rank-0 scalar.
+Tensor MeanAll(const Tensor& t);
+
+/// Max along one axis (keepdim semantics as SumAxis).  The sub-gradient flows
+/// to the (first) argmax position.
+Tensor MaxAxis(const Tensor& t, int64_t axis, bool keepdim);
+
+// ----- linear algebra -----
+
+/// [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ----- gather / scatter -----
+
+/// Selects rows of a [V, D] matrix: result[i, :] = t[indices[i], :].
+Tensor IndexSelectRows(const Tensor& t, const std::vector<int64_t>& indices);
+
+/// Adjoint of IndexSelectRows: scatter-adds the rows of `src` ([n, D]) into a
+/// zero [num_rows, D] matrix at `indices`.
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
+                      int64_t num_rows);
+
+/// Sliding windows for 1-D convolution: [T, D] -> [T-w+1, w*D], row i being the
+/// concatenation of rows i..i+w-1.  Requires T >= w.
+Tensor Unfold1d(const Tensor& t, int64_t window);
+
+/// Adjoint of Unfold1d: overlap-adds [M, w*D] windows back into [M+w-1, D].
+Tensor Fold1d(const Tensor& t, int64_t window);
+
+// ----- composites -----
+
+/// Numerically stable log(sum(exp(x))) along the last axis, keepdim.
+Tensor LogSumExpLastDim(const Tensor& t);
+
+/// Log-softmax along the last axis.
+Tensor LogSoftmaxLastDim(const Tensor& t);
+
+/// Softmax along the last axis.
+Tensor SoftmaxLastDim(const Tensor& t);
+
+/// Inverted dropout: scales kept activations by 1/(1-p).  Identity when
+/// `training` is false or p == 0.
+Tensor Dropout(const Tensor& t, float p, util::Rng* rng, bool training);
+
+/// Stacks n rank-1 tensors of size D into an [n, D] matrix.
+Tensor StackRows(const std::vector<Tensor>& rows);
+
+}  // namespace fewner::tensor

@@ -1,0 +1,56 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fewner::tensor {
+
+std::string Shape::ToString() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << dims_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size(), 1);
+  for (int64_t i = rank() - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+  }
+  return strides;
+}
+
+bool Shape::BroadcastableTo(const Shape& target) const {
+  if (rank() > target.rank()) return false;
+  const int64_t offset = target.rank() - rank();
+  for (int64_t i = 0; i < rank(); ++i) {
+    const int64_t mine = dim(i);
+    const int64_t theirs = target.dim(i + offset);
+    if (mine != theirs && mine != 1) return false;
+  }
+  return true;
+}
+
+util::Result<Shape> Shape::Broadcast(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> out(static_cast<size_t>(rank), 1);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t ai = i - (rank - a.rank());
+    const int64_t bi = i - (rank - b.rank());
+    const int64_t da = ai >= 0 ? a.dim(ai) : 1;
+    const int64_t db = bi >= 0 ? b.dim(bi) : 1;
+    if (da != db && da != 1 && db != 1) {
+      return util::Status::InvalidArgument("shapes " + a.ToString() + " and " +
+                                           b.ToString() + " are not broadcastable");
+    }
+    out[static_cast<size_t>(i)] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+}  // namespace fewner::tensor

@@ -1,0 +1,52 @@
+// Shape: a small value type describing tensor dimensionality, with the
+// broadcasting rules (NumPy-style, right-aligned) used by elementwise ops.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fewner::tensor {
+
+/// Dimensions of a tensor.  Rank 0 denotes a scalar (numel 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (1 for scalars).
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Formats as e.g. "[3, 4]"; scalars render as "[]".
+  std::string ToString() const;
+
+  /// Row-major strides (stride of the last dim is 1).
+  std::vector<int64_t> Strides() const;
+
+  /// True if this shape can broadcast to `target` under right-aligned rules.
+  bool BroadcastableTo(const Shape& target) const;
+
+  /// Broadcast result of two shapes, or InvalidArgument if incompatible.
+  static util::Result<Shape> Broadcast(const Shape& a, const Shape& b);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace fewner::tensor

@@ -1,0 +1,114 @@
+// Tensor: a value-semantic handle to a node in a dynamically built computation
+// graph.  Ops (see ops.h) create nodes whose backward functions are expressed
+// in terms of the same ops, so gradients are themselves graph nodes and can be
+// differentiated again — the property the second-order meta-gradient of FEWNER
+// (Eq. 6 in the paper) requires.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fewner::tensor {
+
+class Tensor;
+
+/// Given the node's own output tensor and the upstream gradient, returns one
+/// gradient tensor per input (undefined Tensor for inputs without grad).
+using BackwardFn =
+    std::function<std::vector<Tensor>(const Tensor& self, const Tensor& grad_out)>;
+
+namespace internal {
+
+/// A node in the computation graph: values plus provenance for backprop.
+struct Node {
+  Shape shape;
+  std::vector<float> values;
+  bool requires_grad = false;
+  const char* op = "leaf";
+  std::vector<Tensor> inputs;
+  BackwardFn backward;
+  uint64_t id = 0;  ///< Monotonic creation index; gives deterministic traversal.
+};
+
+}  // namespace internal
+
+/// Handle to an immutable graph node.  Copying is cheap (shared ownership).
+class Tensor {
+ public:
+  /// Undefined tensor; defined() is false.
+  Tensor() = default;
+
+  /// Leaf from explicit data; `values.size()` must equal `shape.numel()`.
+  static Tensor FromData(Shape shape, std::vector<float> values,
+                         bool requires_grad = false);
+
+  /// Rank-0 scalar leaf.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// Leaf filled with a constant.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+
+  static Tensor Zeros(Shape shape, bool requires_grad = false) {
+    return Full(std::move(shape), 0.0f, requires_grad);
+  }
+  static Tensor Ones(Shape shape, bool requires_grad = false) {
+    return Full(std::move(shape), 1.0f, requires_grad);
+  }
+
+  /// Leaf with i.i.d. Gaussian entries of the given standard deviation.
+  static Tensor Randn(Shape shape, util::Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+
+  /// Internal: wraps an op result node.
+  static Tensor FromNode(std::shared_ptr<internal::Node> node);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Shape& shape() const;
+  int64_t numel() const { return shape().numel(); }
+  int64_t rank() const { return shape().rank(); }
+
+  /// Read-only access to the flat row-major values.
+  const std::vector<float>& data() const;
+
+  /// Mutable access; only valid for leaves (no inputs), since op outputs are
+  /// conceptually immutable once consumed.  Used by optimizers for in-place
+  /// parameter updates.
+  std::vector<float>* mutable_data();
+
+  /// Value of a rank-0 / single-element tensor.
+  float item() const;
+
+  /// Element at a flat index.
+  float at(int64_t i) const { return data()[static_cast<size_t>(i)]; }
+
+  bool requires_grad() const;
+
+  /// Returns a leaf sharing this tensor's values but cut off from the graph.
+  Tensor Detach() const;
+
+  /// Marks a leaf as trainable (participates in autodiff).
+  void set_requires_grad(bool value);
+
+  const char* op_name() const;
+
+  internal::Node* node() const { return node_.get(); }
+
+  /// Pretty-prints shape and (small tensors') values for debugging.
+  std::string ToString() const;
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::Node> node_;
+};
+
+}  // namespace fewner::tensor

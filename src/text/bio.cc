@@ -1,0 +1,117 @@
+#include "text/bio.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace fewner::text {
+
+int64_t NumTags(int64_t n_way) { return 2 * n_way + 1; }
+
+int64_t BeginTag(int64_t slot) { return 1 + 2 * slot; }
+
+int64_t InsideTag(int64_t slot) { return 2 + 2 * slot; }
+
+int64_t SlotOfTag(int64_t tag) {
+  FEWNER_CHECK(tag > 0, "SlotOfTag on the O tag");
+  return (tag - 1) / 2;
+}
+
+bool IsBeginTag(int64_t tag) { return tag > 0 && (tag % 2) == 1; }
+
+bool IsInsideTag(int64_t tag) { return tag > 0 && (tag % 2) == 0; }
+
+std::string TagName(int64_t tag) {
+  if (tag == kOutsideTag) return "O";
+  return (IsBeginTag(tag) ? "B-" : "I-") + std::to_string(SlotOfTag(tag));
+}
+
+std::vector<int64_t> SpansToTags(const std::vector<Span>& spans,
+                                 const std::vector<int64_t>& slots, int64_t length) {
+  FEWNER_CHECK(spans.size() == slots.size(),
+               "SpansToTags: " << spans.size() << " spans, " << slots.size()
+                               << " slots");
+  std::vector<int64_t> tags(static_cast<size_t>(length), kOutsideTag);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    const int64_t slot = slots[i];
+    if (slot < 0) continue;  // type outside the episode's N ways -> O
+    FEWNER_CHECK(span.start >= 0 && span.end > span.start && span.end <= length,
+                 "span [" << span.start << ", " << span.end << ") out of range for "
+                          << length << " tokens");
+    tags[static_cast<size_t>(span.start)] = BeginTag(slot);
+    for (int64_t t = span.start + 1; t < span.end; ++t) {
+      tags[static_cast<size_t>(t)] = InsideTag(slot);
+    }
+  }
+  return tags;
+}
+
+std::vector<Span> TagsToSpans(const std::vector<int64_t>& tags) {
+  std::vector<Span> spans;
+  int64_t current_start = -1;
+  int64_t current_slot = -1;
+  auto flush = [&](int64_t end) {
+    if (current_start >= 0) {
+      spans.push_back(Span{current_start, end, std::to_string(current_slot)});
+      current_start = -1;
+      current_slot = -1;
+    }
+  };
+  for (size_t t = 0; t < tags.size(); ++t) {
+    const int64_t tag = tags[t];
+    const int64_t pos = static_cast<int64_t>(t);
+    if (tag == kOutsideTag) {
+      flush(pos);
+    } else if (IsBeginTag(tag)) {
+      flush(pos);
+      current_start = pos;
+      current_slot = SlotOfTag(tag);
+    } else {  // I- tag
+      const int64_t slot = SlotOfTag(tag);
+      if (current_start >= 0 && slot == current_slot) continue;  // extend
+      // conlleval-style recovery: treat a dangling I- as a new span.
+      flush(pos);
+      current_start = pos;
+      current_slot = slot;
+    }
+  }
+  flush(static_cast<int64_t>(tags.size()));
+  return spans;
+}
+
+std::vector<bool> ValidTagMask(int64_t n_way, int64_t max_tags) {
+  FEWNER_CHECK(NumTags(n_way) <= max_tags,
+               "episode needs " << NumTags(n_way) << " tags but model has " << max_tags);
+  std::vector<bool> mask(static_cast<size_t>(max_tags), false);
+  for (int64_t tag = 0; tag < NumTags(n_way); ++tag) {
+    mask[static_cast<size_t>(tag)] = true;
+  }
+  return mask;
+}
+
+void SpanCounts::Accumulate(const std::vector<Span>& gold_spans,
+                            const std::vector<Span>& predicted_spans) {
+  gold += static_cast<int64_t>(gold_spans.size());
+  returned += static_cast<int64_t>(predicted_spans.size());
+  for (const Span& p : predicted_spans) {
+    if (std::find(gold_spans.begin(), gold_spans.end(), p) != gold_spans.end()) {
+      ++correct;
+    }
+  }
+}
+
+double SpanCounts::F1() const {
+  const int64_t denom = gold + returned;
+  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(correct) / denom;
+}
+
+double SpanCounts::Precision() const {
+  return returned == 0 ? 0.0 : static_cast<double>(correct) / returned;
+}
+
+double SpanCounts::Recall() const {
+  return gold == 0 ? 0.0 : static_cast<double>(correct) / gold;
+}
+
+}  // namespace fewner::text

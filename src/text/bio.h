@@ -1,0 +1,83 @@
+// BIO tagging scheme utilities for episodic (N-way) NER.
+//
+// An N-way episode maps its N entity types to slots 0..N-1; the tag inventory
+// is then {O, B-0, I-0, ..., B-(N-1), I-(N-1)} with integer ids
+//   O = 0,  B-slot = 1 + 2*slot,  I-slot = 2 + 2*slot.
+// A model trained with capacity for `max_way` slots evaluates smaller-N
+// episodes by masking the unused tag ids (see LinearChainCrf).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fewner::text {
+
+/// A labeled entity mention: token span [start, end) with a type label.
+struct Span {
+  int64_t start = 0;
+  int64_t end = 0;
+  std::string label;
+
+  bool operator==(const Span& other) const {
+    return start == other.start && end == other.end && label == other.label;
+  }
+};
+
+/// Number of BIO tags for an N-way tagset: 2N + 1.
+int64_t NumTags(int64_t n_way);
+
+/// Id of the outside tag.
+inline constexpr int64_t kOutsideTag = 0;
+
+/// Tag id of B-slot.
+int64_t BeginTag(int64_t slot);
+
+/// Tag id of I-slot.
+int64_t InsideTag(int64_t slot);
+
+/// Slot of a non-O tag id.
+int64_t SlotOfTag(int64_t tag);
+
+/// True if the tag id is a B- tag.
+bool IsBeginTag(int64_t tag);
+
+/// True if the tag id is an I- tag.
+bool IsInsideTag(int64_t tag);
+
+/// Human-readable tag name ("O", "B-2", ...).
+std::string TagName(int64_t tag);
+
+/// Converts spans (with labels resolved to slots via `slot_of_label`) into a
+/// BIO tag-id sequence of the given length.  Spans must be non-overlapping;
+/// spans whose label maps to a negative slot are skipped (types outside the
+/// episode's N ways are treated as O, as in the paper's task construction).
+std::vector<int64_t> SpansToTags(const std::vector<Span>& spans,
+                                 const std::vector<int64_t>& slots, int64_t length);
+
+/// Extracts entity spans from a BIO tag-id sequence.  Tolerates ill-formed
+/// sequences the way conlleval does: an I- without a preceding matching B-/I-
+/// starts a new span.
+std::vector<Span> TagsToSpans(const std::vector<int64_t>& tags);
+
+/// Validity mask over `max_tags` tag ids for an episode using `n_way` slots.
+std::vector<bool> ValidTagMask(int64_t n_way, int64_t max_tags);
+
+/// Micro precision/recall/F1 counts for one episode (paper §4.1.1):
+/// g = gold entities, r = returned entities, c = correct (exact span + slot).
+struct SpanCounts {
+  int64_t gold = 0;
+  int64_t returned = 0;
+  int64_t correct = 0;
+
+  void Accumulate(const std::vector<Span>& gold_spans,
+                  const std::vector<Span>& predicted_spans);
+
+  /// F1 = 2c / (g + r); 0 when the denominator is 0.
+  double F1() const;
+  double Precision() const;
+  double Recall() const;
+};
+
+}  // namespace fewner::text

@@ -1,0 +1,61 @@
+#include "text/hash_embeddings.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace fewner::text {
+
+HashEmbeddings::HashEmbeddings(int64_t dim, uint64_t seed, float family_weight)
+    : dim_(dim), seed_(seed), family_weight_(family_weight) {}
+
+std::vector<float> HashEmbeddings::UnitVector(uint64_t key) const {
+  util::Rng rng(util::Mix64(seed_ ^ key));
+  std::vector<float> v(static_cast<size_t>(dim_));
+  double norm_sq = 0.0;
+  for (float& x : v) {
+    x = static_cast<float>(rng.Gaussian());
+    norm_sq += static_cast<double>(x) * x;
+  }
+  const float inv_norm = 1.0f / static_cast<float>(std::sqrt(norm_sq) + 1e-12);
+  for (float& x : v) x *= inv_norm;
+  return v;
+}
+
+std::vector<float> HashEmbeddings::VectorFor(const std::string& word) const {
+  const std::string lower = util::ToLower(word);
+  const std::string prefix = lower.substr(0, 4);
+  std::vector<float> family = UnitVector(util::HashString("family:" + prefix));
+  std::vector<float> unique = UnitVector(util::HashString("word:" + lower));
+  std::vector<float> out(static_cast<size_t>(dim_));
+  double norm_sq = 0.0;
+  for (int64_t i = 0; i < dim_; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    out[idx] = family_weight_ * family[idx] + (1.0f - family_weight_) * unique[idx];
+    norm_sq += static_cast<double>(out[idx]) * out[idx];
+  }
+  if (norm_sq < 1e-8) {
+    // Degenerate cancellation of the two mixture components (possible in very
+    // low dimensions): fall back to the word-unique vector.
+    return unique;
+  }
+  const float inv_norm = 1.0f / static_cast<float>(std::sqrt(norm_sq) + 1e-12);
+  for (float& x : out) x *= inv_norm;
+  return out;
+}
+
+std::vector<std::vector<float>> HashEmbeddings::TableFor(const Vocab& vocab) const {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(static_cast<size_t>(vocab.size()));
+  for (int64_t id = 0; id < vocab.size(); ++id) {
+    if (id == kPadId) {
+      rows.emplace_back(static_cast<size_t>(dim_), 0.0f);
+    } else {
+      rows.push_back(VectorFor(vocab.TokenFor(id)));
+    }
+  }
+  return rows;
+}
+
+}  // namespace fewner::text

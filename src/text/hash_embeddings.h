@@ -1,0 +1,46 @@
+// HashEmbeddings: a deterministic stand-in for pre-trained GloVe vectors.
+//
+// The paper initializes word representations from GloVe-300d.  Offline we
+// cannot ship GloVe, so each word deterministically maps to a unit-norm
+// pseudo-embedding: a mixture of a *prefix-family* vector (words sharing a
+// 4-character prefix get correlated vectors, mimicking the morphology
+// clustering distributional embeddings exhibit) and a word-unique vector.
+// The geometry — stable vectors, related surface forms nearby — is what the
+// downstream few-shot transfer experiments actually rely on; see DESIGN.md §1.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace fewner::text {
+
+/// Deterministic pseudo-embedding source.
+class HashEmbeddings {
+ public:
+  /// `family_weight` in [0, 1] is the share of the prefix-family component.
+  explicit HashEmbeddings(int64_t dim, uint64_t seed = 0x5EEDFACEull,
+                          float family_weight = 0.5f);
+
+  /// Unit-norm vector for a word (lowercased internally).
+  std::vector<float> VectorFor(const std::string& word) const;
+
+  /// Rows for an entire vocabulary, in id order.  <pad> gets the zero vector;
+  /// <unk> gets its own hash vector.
+  std::vector<std::vector<float>> TableFor(const Vocab& vocab) const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  /// Unit-norm Gaussian vector keyed by (seed_, key).
+  std::vector<float> UnitVector(uint64_t key) const;
+
+  int64_t dim_;
+  uint64_t seed_;
+  float family_weight_;
+};
+
+}  // namespace fewner::text

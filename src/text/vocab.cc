@@ -1,0 +1,75 @@
+#include "text/vocab.h"
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace fewner::text {
+
+Vocab::Vocab() {
+  tokens_ = {"<pad>", "<unk>"};
+  ids_["<pad>"] = kPadId;
+  ids_["<unk>"] = kUnkId;
+}
+
+int64_t Vocab::Add(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int64_t id = static_cast<int64_t>(tokens_.size());
+  ids_[token] = id;
+  tokens_.push_back(token);
+  return id;
+}
+
+int64_t Vocab::Lookup(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const { return ids_.count(token) > 0; }
+
+const std::string& Vocab::TokenFor(int64_t id) const {
+  FEWNER_CHECK(id >= 0 && id < size(), "TokenFor(" << id << ") out of range");
+  return tokens_[static_cast<size_t>(id)];
+}
+
+void VocabBuilder::AddSentence(const std::vector<std::string>& tokens) {
+  for (const std::string& token : tokens) {
+    const std::string lower = util::ToLower(token);
+    if (!seen_words_.count(lower)) {
+      seen_words_[lower] = true;
+      words_.push_back(lower);
+    }
+    for (char c : token) {
+      const std::string key(1, c);
+      if (!seen_chars_.count(key)) {
+        seen_chars_[key] = true;
+        chars_.push_back(key);
+      }
+    }
+  }
+}
+
+Vocab VocabBuilder::BuildWordVocab() const {
+  Vocab vocab;
+  for (const std::string& word : words_) vocab.Add(word);
+  return vocab;
+}
+
+Vocab VocabBuilder::BuildCharVocab() const {
+  Vocab vocab;
+  for (const std::string& c : chars_) vocab.Add(c);
+  return vocab;
+}
+
+int64_t WordId(const Vocab& vocab, const std::string& token) {
+  return vocab.Lookup(util::ToLower(token));
+}
+
+std::vector<int64_t> CharIds(const Vocab& vocab, const std::string& token) {
+  std::vector<int64_t> ids;
+  ids.reserve(token.size());
+  for (char c : token) ids.push_back(vocab.Lookup(std::string(1, c)));
+  return ids;
+}
+
+}  // namespace fewner::text

@@ -1,0 +1,71 @@
+// Word and character vocabularies.
+//
+// Ids 0 and 1 are reserved for <pad> and <unk>.  Word lookup is lowercased
+// (the paper's GloVe embeddings are uncased) while the character vocabulary is
+// case-sensitive (character-level representations are cased).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fewner::text {
+
+/// Reserved id for padding.
+inline constexpr int64_t kPadId = 0;
+/// Reserved id for out-of-vocabulary items.
+inline constexpr int64_t kUnkId = 1;
+
+/// Frequency-built token-to-id mapping with reserved <pad>/<unk> slots.
+class Vocab {
+ public:
+  Vocab();
+
+  /// Adds a token (exact form) if absent; returns its id.
+  int64_t Add(const std::string& token);
+
+  /// Id of a token, or kUnkId if unknown.
+  int64_t Lookup(const std::string& token) const;
+
+  /// Whether the exact token is present.
+  bool Contains(const std::string& token) const;
+
+  /// Token for an id ("<pad>"/"<unk>" for the reserved slots).
+  const std::string& TokenFor(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+ private:
+  std::unordered_map<std::string, int64_t> ids_;
+  std::vector<std::string> tokens_;
+};
+
+/// Builds a lowercased word vocabulary and a cased character vocabulary from
+/// tokenized sentences.
+class VocabBuilder {
+ public:
+  /// Accumulates one sentence of tokens.
+  void AddSentence(const std::vector<std::string>& tokens);
+
+  /// Word vocabulary over lowercased tokens.
+  Vocab BuildWordVocab() const;
+
+  /// Character vocabulary over raw (cased) characters.
+  Vocab BuildCharVocab() const;
+
+ private:
+  std::vector<std::string> words_;  // lowercased, insertion order, deduped
+  std::unordered_map<std::string, bool> seen_words_;
+  std::vector<std::string> chars_;
+  std::unordered_map<std::string, bool> seen_chars_;
+};
+
+/// Lowercased word id for `token` under `vocab`.
+int64_t WordId(const Vocab& vocab, const std::string& token);
+
+/// Cased character ids for `token` under `vocab`.
+std::vector<int64_t> CharIds(const Vocab& vocab, const std::string& token);
+
+}  // namespace fewner::text

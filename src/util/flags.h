@@ -1,0 +1,59 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Flags are "--name value" or "--name=value"; booleans accept a bare "--name".
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fewner::util {
+
+/// Declarative flag set: register defaults, then Parse(argc, argv).
+class FlagParser {
+ public:
+  /// Registers an int64 flag with a default and help string.
+  void AddInt(const std::string& name, int64_t default_value, const std::string& help);
+  /// Registers a double flag.
+  void AddDouble(const std::string& name, double default_value, const std::string& help);
+  /// Registers a string flag.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  /// Registers a boolean flag ("--name" or "--name=true/false").
+  void AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  /// "--help" prints usage and sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  std::string GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the usage table.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical string form
+    std::string default_value;
+  };
+
+  Status Set(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace fewner::util

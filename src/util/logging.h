@@ -1,0 +1,63 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: FEWNER_LOG(INFO) << "meta iteration " << it << " loss " << loss;
+// The global threshold is controlled with SetLogLevel (benches expose
+// --verbose / --quiet on top of it).
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fewner::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+/// Sets the minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and flushes it (with prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the threshold without evaluating stream args.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+// Severity aliases consumed by the FEWNER_LOG macro token-pasting.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+}  // namespace fewner::util
+
+#define FEWNER_LOG(severity)                                                        \
+  for (bool fewner_log_once_ =                                                     \
+           ::fewner::util::k##severity >= ::fewner::util::GetLogLevel();           \
+       fewner_log_once_; fewner_log_once_ = false)                                 \
+  ::fewner::util::internal::LogMessage(::fewner::util::k##severity, __FILE__,      \
+                                       __LINE__)                                   \
+      .stream()

@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the library (corpus synthesis, parameter init,
+// episode sampling, dropout) draws from Rng so that a (seed, purpose) pair
+// fully determines the output.  The generator is xoshiro256** seeded through
+// SplitMix64, the standard recommendation of its authors.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fewner::util {
+
+/// SplitMix64 step; used for seeding and for stateless hash-mixing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Mixes a 64-bit value into a well-distributed 64-bit value (stateless).
+uint64_t Mix64(uint64_t x);
+
+/// Stable 64-bit FNV-1a hash of a string; used to derive per-word seeds.
+uint64_t HashString(const std::string& s);
+
+/// xoshiro256** pseudo-random generator with convenience samplers.
+class Rng {
+ public:
+  /// Seeds the four lanes of state from `seed` through SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Index drawn from unnormalized non-negative weights; requires a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = UniformInt(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Forks an independent stream keyed by `stream_id`; the child is a pure
+  /// function of (parent seed, stream_id), not of draws already made.
+  Rng Fork(uint64_t stream_id) const;
+
+ private:
+  uint64_t s_[4];
+  uint64_t seed_;
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace fewner::util

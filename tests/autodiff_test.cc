@@ -1,0 +1,310 @@
+// Tests for reverse-mode autodiff, including finite-difference gradient checks
+// over every differentiable op and exact second-order (grad-of-grad) checks —
+// the property FEWNER's meta-gradient depends on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace fewner::tensor {
+namespace {
+
+using autodiff::Grad;
+
+/// Central finite-difference check of d(loss)/d(x) for every element of x.
+void CheckGradient(const std::function<Tensor(const Tensor&)>& loss_fn, Tensor x,
+                   float eps = 1e-3f, float tol = 2e-2f) {
+  Tensor loss = loss_fn(x);
+  std::vector<Tensor> grads = Grad(loss, {x});
+  ASSERT_EQ(grads.size(), 1u);
+  const Tensor& g = grads[0];
+  ASSERT_EQ(g.shape(), x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    std::vector<float> plus = x.data();
+    std::vector<float> minus = x.data();
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    Tensor xp = Tensor::FromData(x.shape(), plus, true);
+    Tensor xm = Tensor::FromData(x.shape(), minus, true);
+    const float numeric = (loss_fn(xp).item() - loss_fn(xm).item()) / (2 * eps);
+    EXPECT_NEAR(g.at(i), numeric, tol) << "element " << i;
+  }
+}
+
+Tensor RandTensor(Shape shape, uint64_t seed, float stddev = 1.0f) {
+  util::Rng rng(seed);
+  return Tensor::Randn(std::move(shape), &rng, stddev, /*requires_grad=*/true);
+}
+
+TEST(AutodiffTest, SimpleChain) {
+  // loss = sum((2x + 1)^2); dloss/dx = 4(2x + 1).
+  Tensor x = Tensor::FromData(Shape{3}, {0.0f, 1.0f, -1.0f}, true);
+  Tensor loss = SumAll(Square(AddScalar(MulScalar(x, 2.0f), 1.0f)));
+  auto g = Grad(loss, {x});
+  EXPECT_FLOAT_EQ(g[0].at(0), 4.0f);
+  EXPECT_FLOAT_EQ(g[0].at(1), 12.0f);
+  EXPECT_FLOAT_EQ(g[0].at(2), -4.0f);
+}
+
+TEST(AutodiffTest, GradOfIndependentInputIsZero) {
+  Tensor x = Tensor::Ones(Shape{2}, true);
+  Tensor y = Tensor::Ones(Shape{2}, true);
+  Tensor loss = SumAll(x);
+  auto g = Grad(loss, {x, y});
+  EXPECT_FLOAT_EQ(g[0].at(0), 1.0f);
+  EXPECT_FLOAT_EQ(g[1].at(0), 0.0f);
+  EXPECT_FLOAT_EQ(g[1].at(1), 0.0f);
+}
+
+TEST(AutodiffTest, FanOutAccumulates) {
+  // loss = sum(x * x) computed through two separate consumers of x.
+  Tensor x = Tensor::FromData(Shape{2}, {3.0f, -2.0f}, true);
+  Tensor a = MulScalar(x, 1.0f);
+  Tensor loss = SumAll(Mul(a, x));
+  auto g = Grad(loss, {x});
+  EXPECT_FLOAT_EQ(g[0].at(0), 6.0f);
+  EXPECT_FLOAT_EQ(g[0].at(1), -4.0f);
+}
+
+TEST(AutodiffTest, GradDetachedByDefault) {
+  Tensor x = Tensor::Ones(Shape{2}, true);
+  auto g = Grad(SumAll(Square(x)), {x}, /*create_graph=*/false);
+  EXPECT_FALSE(g[0].requires_grad());
+  auto g2 = Grad(SumAll(Square(x)), {x}, /*create_graph=*/true);
+  EXPECT_TRUE(g2[0].requires_grad());
+}
+
+TEST(AutodiffTest, DetachBlocksFlow) {
+  Tensor x = Tensor::FromData(Shape{2}, {1.0f, 2.0f}, true);
+  Tensor loss = SumAll(Mul(x.Detach(), x));  // d/dx = detached(x)
+  auto g = Grad(loss, {x});
+  EXPECT_FLOAT_EQ(g[0].at(0), 1.0f);
+  EXPECT_FLOAT_EQ(g[0].at(1), 2.0f);
+}
+
+// --- finite-difference sweeps over ops ---
+
+TEST(GradCheckTest, AddMulSubDivBroadcast) {
+  Tensor y = Tensor::FromData(Shape{3}, {0.5f, 1.5f, 2.5f});
+  CheckGradient([&](const Tensor& x) { return SumAll(Add(x, y)); },
+                RandTensor(Shape{2, 3}, 1));
+  CheckGradient([&](const Tensor& x) { return SumAll(Mul(x, y)); },
+                RandTensor(Shape{2, 3}, 2));
+  CheckGradient([&](const Tensor& x) { return SumAll(Sub(y, x)); },
+                RandTensor(Shape{2, 3}, 3));
+  CheckGradient([&](const Tensor& x) { return SumAll(Div(y, AddScalar(Square(x), 1.0f))); },
+                RandTensor(Shape{2, 3}, 4));
+}
+
+TEST(GradCheckTest, BroadcastFromSmallSide) {
+  Tensor big = RandTensor(Shape{4, 3}, 10);
+  big.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(Mul(big, x))); },
+                RandTensor(Shape{3}, 11));
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(Add(big, x))); },
+                RandTensor(Shape{4, 1}, 12));
+}
+
+TEST(GradCheckTest, Activations) {
+  CheckGradient([](const Tensor& x) { return SumAll(Sigmoid(x)); },
+                RandTensor(Shape{5}, 5));
+  CheckGradient([](const Tensor& x) { return SumAll(Tanh(x)); },
+                RandTensor(Shape{5}, 6));
+  CheckGradient([](const Tensor& x) { return SumAll(Exp(x)); },
+                RandTensor(Shape{5}, 7, 0.5f));
+  CheckGradient([](const Tensor& x) { return SumAll(Log(AddScalar(Square(x), 1.0f))); },
+                RandTensor(Shape{5}, 8));
+  CheckGradient([](const Tensor& x) { return SumAll(Sqrt(AddScalar(Square(x), 1.0f))); },
+                RandTensor(Shape{5}, 9));
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  // Values bounded away from 0 so finite differences are valid.
+  Tensor x = Tensor::FromData(Shape{4}, {-2.0f, -0.5f, 0.5f, 2.0f}, true);
+  CheckGradient([](const Tensor& t) { return SumAll(Square(Relu(t))); }, x);
+}
+
+TEST(GradCheckTest, MatMulBothSides) {
+  Tensor b = RandTensor(Shape{3, 2}, 20);
+  b.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMul(x, b))); },
+                RandTensor(Shape{2, 3}, 21));
+  Tensor a = RandTensor(Shape{2, 3}, 22);
+  a.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMul(a, x))); },
+                RandTensor(Shape{3, 2}, 23));
+}
+
+TEST(GradCheckTest, ShapeOps) {
+  CheckGradient(
+      [](const Tensor& x) { return SumAll(Square(Transpose(Reshape(x, Shape{2, 3})))); },
+      RandTensor(Shape{6}, 30));
+  CheckGradient(
+      [](const Tensor& x) { return SumAll(Square(BroadcastTo(x, Shape{4, 3}))); },
+      RandTensor(Shape{3}, 31));
+  CheckGradient([](const Tensor& x) { return SumAll(Square(SumTo(x, Shape{3}))); },
+                RandTensor(Shape{4, 3}, 32));
+  CheckGradient(
+      [](const Tensor& x) { return SumAll(Square(Slice(x, 0, 1, 2))); },
+      RandTensor(Shape{4, 2}, 33));
+  CheckGradient(
+      [](const Tensor& x) {
+        return SumAll(Square(Concat({x, MulScalar(x, 2.0f)}, 1)));
+      },
+      RandTensor(Shape{2, 2}, 34));
+}
+
+TEST(GradCheckTest, Reductions) {
+  CheckGradient([](const Tensor& x) { return Square(SumAll(x)); },
+                RandTensor(Shape{4}, 40));
+  CheckGradient([](const Tensor& x) { return SumAll(Square(SumAxis(x, 0, false))); },
+                RandTensor(Shape{3, 2}, 41));
+  CheckGradient([](const Tensor& x) { return SumAll(Square(SumAxis(x, 1, true))); },
+                RandTensor(Shape{3, 2}, 42));
+  CheckGradient([](const Tensor& x) { return Square(MeanAll(x)); },
+                RandTensor(Shape{5}, 43));
+}
+
+TEST(GradCheckTest, MaxAxisAwayFromTies) {
+  Tensor x = Tensor::FromData(Shape{2, 3}, {1.0f, 5.0f, 2.0f, 9.0f, 3.0f, 4.0f}, true);
+  CheckGradient([](const Tensor& t) { return SumAll(Square(MaxAxis(t, 1, false))); }, x);
+}
+
+TEST(GradCheckTest, GatherScatter) {
+  CheckGradient(
+      [](const Tensor& x) {
+        return SumAll(Square(IndexSelectRows(x, {0, 2, 2, 1})));
+      },
+      RandTensor(Shape{3, 2}, 50));
+  CheckGradient(
+      [](const Tensor& x) { return SumAll(Square(ScatterAddRows(x, {1, 1, 0}, 4))); },
+      RandTensor(Shape{3, 2}, 51));
+}
+
+TEST(GradCheckTest, UnfoldFold) {
+  CheckGradient([](const Tensor& x) { return SumAll(Square(Unfold1d(x, 3))); },
+                RandTensor(Shape{5, 2}, 60));
+  CheckGradient([](const Tensor& x) { return SumAll(Square(Fold1d(x, 2))); },
+                RandTensor(Shape{3, 4}, 61));
+}
+
+TEST(GradCheckTest, SoftmaxFamily) {
+  CheckGradient([](const Tensor& x) { return SumAll(Square(LogSumExpLastDim(x))); },
+                RandTensor(Shape{2, 4}, 70));
+  CheckGradient(
+      [](const Tensor& x) {
+        Tensor lp = LogSoftmaxLastDim(x);
+        return Neg(SumAll(Slice(lp, 1, 0, 1)));  // NLL of class 0 per row
+      },
+      RandTensor(Shape{3, 4}, 71));
+  CheckGradient([](const Tensor& x) { return SumAll(Square(SoftmaxLastDim(x))); },
+                RandTensor(Shape{2, 3}, 72));
+}
+
+// --- second order ---
+
+TEST(SecondOrderTest, QuadraticHessianIsConstant) {
+  // loss = sum(x^3); first grad = 3x^2; d(sum(first_grad))/dx = 6x.
+  Tensor x = Tensor::FromData(Shape{3}, {1.0f, 2.0f, -1.0f}, true);
+  Tensor loss = SumAll(Mul(Mul(x, x), x));
+  auto g1 = Grad(loss, {x}, /*create_graph=*/true);
+  Tensor g1_sum = SumAll(g1[0]);
+  auto g2 = Grad(g1_sum, {x});
+  EXPECT_NEAR(g2[0].at(0), 6.0f, 1e-4);
+  EXPECT_NEAR(g2[0].at(1), 12.0f, 1e-4);
+  EXPECT_NEAR(g2[0].at(2), -6.0f, 1e-4);
+}
+
+TEST(SecondOrderTest, ThroughSigmoid) {
+  // f(x) = sigmoid(x); f'' = f'(1 - 2f).  Check at x = 0.7.
+  Tensor x = Tensor::Scalar(0.7f, true);
+  Tensor y = Sigmoid(x);
+  auto g1 = Grad(y, {x}, true);
+  auto g2 = Grad(g1[0], {x});
+  const double s = 1.0 / (1.0 + std::exp(-0.7));
+  const double expected = s * (1 - s) * (1 - 2 * s);
+  EXPECT_NEAR(g2[0].item(), expected, 1e-4);
+}
+
+TEST(SecondOrderTest, ThroughMatMulChain) {
+  // loss(w) = sum((x w)^2) is quadratic in w; the grad of grad-sum is constant
+  // and can be checked against finite differences of the first gradient.
+  Tensor x = RandTensor(Shape{4, 3}, 80);
+  x.set_requires_grad(false);
+  Tensor w = RandTensor(Shape{3, 2}, 81);
+
+  auto first_grad_sum = [&](const Tensor& wt) {
+    Tensor loss = SumAll(Square(MatMul(x, wt)));
+    auto g = Grad(loss, {wt}, /*create_graph=*/true);
+    return SumAll(g[0]);
+  };
+
+  Tensor gg_sum = first_grad_sum(w);
+  auto second = Grad(gg_sum, {w});
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    std::vector<float> plus = w.data(), minus = w.data();
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    Tensor wp = Tensor::FromData(w.shape(), plus, true);
+    Tensor wm = Tensor::FromData(w.shape(), minus, true);
+    const float numeric =
+        (first_grad_sum(wp).item() - first_grad_sum(wm).item()) / (2 * eps);
+    EXPECT_NEAR(second[0].at(i), numeric, 5e-2f) << "element " << i;
+  }
+}
+
+TEST(SecondOrderTest, MamlStyleInnerStepGradient) {
+  // theta' = theta - a * dL_spt/dtheta with L_spt = 0.5 * (theta * s)^2,
+  // L_qry(theta') = 0.5 * (theta' * q)^2.  Analytic meta-gradient:
+  //   theta' = theta (1 - a s^2), dL_qry/dtheta = q^2 theta (1 - a s^2)^2.
+  const float s = 1.3f, q = 0.8f, a = 0.1f, theta0 = 2.0f;
+  Tensor theta = Tensor::Scalar(theta0, true);
+  Tensor spt_loss = MulScalar(Square(MulScalar(theta, s)), 0.5f);
+  auto inner = Grad(spt_loss, {theta}, /*create_graph=*/true);
+  Tensor theta_prime = Sub(theta, MulScalar(inner[0], a));
+  Tensor qry_loss = MulScalar(Square(MulScalar(theta_prime, q)), 0.5f);
+  auto meta = Grad(qry_loss, {theta});
+  const float factor = 1.0f - a * s * s;
+  EXPECT_NEAR(meta[0].item(), q * q * theta0 * factor * factor, 1e-4);
+}
+
+TEST(SecondOrderTest, FirstOrderApproximationDiffers) {
+  // Same setup as above but with the inner gradient detached (FOMAML).  The
+  // result must equal q^2 * theta' * (1) * ... i.e. missing one (1 - a s^2)
+  // factor — demonstrating that create_graph genuinely changes the result.
+  const float s = 1.3f, q = 0.8f, a = 0.1f, theta0 = 2.0f;
+  Tensor theta = Tensor::Scalar(theta0, true);
+  Tensor spt_loss = MulScalar(Square(MulScalar(theta, s)), 0.5f);
+  auto inner = Grad(spt_loss, {theta}, /*create_graph=*/false);
+  Tensor theta_prime = Sub(theta, MulScalar(inner[0], a));
+  Tensor qry_loss = MulScalar(Square(MulScalar(theta_prime, q)), 0.5f);
+  auto meta = Grad(qry_loss, {theta});
+  const float factor = 1.0f - a * s * s;
+  EXPECT_NEAR(meta[0].item(), q * q * theta0 * factor, 1e-4);
+  EXPECT_GT(std::abs(meta[0].item() - q * q * theta0 * factor * factor), 1e-3);
+}
+
+TEST(AutodiffTest, GraphSizeCountsNodes) {
+  Tensor x = Tensor::Ones(Shape{2}, true);
+  EXPECT_EQ(autodiff::GraphSize(x), 1);
+  Tensor y = Add(Square(x), x);
+  EXPECT_EQ(autodiff::GraphSize(y), 3);  // x, square(=mul), add
+}
+
+TEST(AutodiffTest, DeepChainDoesNotOverflow) {
+  Tensor x = Tensor::Scalar(0.001f, true);
+  Tensor y = x;
+  for (int i = 0; i < 4000; ++i) y = AddScalar(y, 0.0001f);
+  auto g = Grad(SumAll(y), {x});
+  EXPECT_FLOAT_EQ(g[0].item(), 1.0f);
+}
+
+}  // namespace
+}  // namespace fewner::tensor

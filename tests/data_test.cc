@@ -1,0 +1,328 @@
+// Tests for the data subsystem: synthetic corpus generation (determinism,
+// Table-1 statistics, genre/domain structure), dataset registry, type splits,
+// and the greedy-including N-way K-shot episode sampler (§3.1 properties).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/datasets.h"
+#include "data/episode_sampler.h"
+#include "data/synthetic.h"
+
+namespace fewner::data {
+namespace {
+
+SyntheticSpec SmallSpec() {
+  SyntheticSpec spec;
+  spec.name = "small";
+  spec.genre = "newswire";
+  spec.num_types = 12;
+  spec.num_sentences = 400;
+  spec.mentions_per_sentence = 2.5;
+  spec.seed = 11;
+  spec.type_pool_offset = 7000;
+  return spec;
+}
+
+TEST(SyntheticTest, DeterministicRegeneration) {
+  Corpus a = GenerateCorpus(SmallSpec());
+  Corpus b = GenerateCorpus(SmallSpec());
+  ASSERT_EQ(a.sentences.size(), b.sentences.size());
+  for (size_t i = 0; i < a.sentences.size(); i += 37) {
+    EXPECT_EQ(a.sentences[i].tokens, b.sentences[i].tokens);
+    EXPECT_EQ(a.sentences[i].entities.size(), b.sentences[i].entities.size());
+  }
+}
+
+TEST(SyntheticTest, TypeInventoryMatchesSpec) {
+  Corpus corpus = GenerateCorpus(SmallSpec());
+  EXPECT_EQ(corpus.entity_types.size(), 12u);
+  std::set<std::string> inventory(corpus.entity_types.begin(),
+                                  corpus.entity_types.end());
+  EXPECT_EQ(inventory.size(), 12u);  // distinct names
+  for (const auto& sentence : corpus.sentences) {
+    for (const auto& entity : sentence.entities) {
+      EXPECT_TRUE(inventory.count(entity.label)) << entity.label;
+    }
+  }
+}
+
+TEST(SyntheticTest, SpansPointAtRealTokens) {
+  Corpus corpus = GenerateCorpus(SmallSpec());
+  for (const auto& sentence : corpus.sentences) {
+    for (const auto& entity : sentence.entities) {
+      ASSERT_GE(entity.start, 0);
+      ASSERT_LT(entity.start, entity.end);
+      ASSERT_LE(entity.end, static_cast<int64_t>(sentence.tokens.size()));
+    }
+  }
+}
+
+TEST(SyntheticTest, MentionDensityNearTarget) {
+  Corpus corpus = GenerateCorpus(SmallSpec());
+  const double density = static_cast<double>(corpus.MentionCount()) /
+                         static_cast<double>(corpus.sentences.size());
+  EXPECT_NEAR(density, 2.5, 0.35);
+}
+
+TEST(SyntheticTest, DisjointTypePoolsAcrossOffsets) {
+  SyntheticSpec a = SmallSpec();
+  SyntheticSpec b = SmallSpec();
+  b.type_pool_offset = 8000;
+  auto types_a = GenerateTypes(a);
+  auto types_b = GenerateTypes(b);
+  std::set<std::string> names_a;
+  for (const auto& t : types_a) names_a.insert(t.name);
+  for (const auto& t : types_b) EXPECT_FALSE(names_a.count(t.name));
+}
+
+TEST(SyntheticTest, MedicalGenreUsesMedicalMorphology) {
+  SyntheticSpec spec = SmallSpec();
+  spec.genre = "medical";
+  auto types = GenerateTypes(spec);
+  for (const auto& type : types) {
+    EXPECT_TRUE(type.morphology == Morphology::kBioSuffix ||
+                type.morphology == Morphology::kAlnumId ||
+                type.morphology == Morphology::kAcronym ||
+                type.morphology == Morphology::kDiseasePhrase)
+        << type.name;
+  }
+}
+
+TEST(SyntheticTest, GazetteersAreTypeSpecific) {
+  auto types = GenerateTypes(SmallSpec());
+  ASSERT_GE(types.size(), 2u);
+  for (const auto& type : types) {
+    EXPECT_GE(type.gazetteer.size(), 10u);
+    EXPECT_FALSE(type.pre_triggers.empty());
+  }
+  // Gazetteers of different types overlap at most marginally.
+  std::set<std::string> first(types[0].gazetteer.begin(), types[0].gazetteer.end());
+  int64_t overlap = 0;
+  for (const auto& surface : types[1].gazetteer) overlap += first.count(surface);
+  EXPECT_LE(overlap, 2);
+}
+
+TEST(SyntheticTest, UnlabeledTextGenerates) {
+  auto text = GenerateUnlabeledText(50, 3);
+  EXPECT_EQ(text.size(), 50u);
+  for (const auto& tokens : text) EXPECT_GE(tokens.size(), 3u);
+}
+
+TEST(DatasetsTest, Table1Statistics) {
+  // Full-scale specs must match the paper's Table 1 exactly on #types and
+  // #sentences (mentions are targeted through the per-sentence density).
+  struct Expected {
+    const char* name;
+    int64_t types;
+    int64_t sentences;
+  };
+  const Expected expected[] = {
+      {kNne, 114, 39932},        {kFgNer, 200, 3941}, {kGenia, 36, 18546},
+      {kAce2005, 54, 17399},     {kOntoNotes, 18, 42224},
+      {kBioNlp13Cg, 16, 5939},
+  };
+  for (const auto& e : expected) {
+    SyntheticSpec spec = SpecFor(e.name, 1.0);
+    EXPECT_EQ(spec.num_types, e.types) << e.name;
+    // ACE divides across 6 domains; per-domain truncation loses < 6 sentences.
+    EXPECT_NEAR(static_cast<double>(spec.num_sentences),
+                static_cast<double>(e.sentences), 6.0)
+        << e.name;
+  }
+}
+
+TEST(DatasetsTest, ScaleShrinksSentencesNotTypes) {
+  Corpus small = MakeDataset(kGenia, 0.02);
+  SyntheticSpec full = SpecFor(kGenia, 1.0);
+  EXPECT_EQ(static_cast<int64_t>(small.entity_types.size()), full.num_types);
+  // Scaling shrinks the corpus but respects the ~2000-sentence floor that
+  // keeps sparse datasets viable for 5-way 5-shot episode construction.
+  EXPECT_LT(static_cast<int64_t>(small.sentences.size()), full.num_sentences / 4);
+  EXPECT_GE(static_cast<int64_t>(small.sentences.size()), 2000);
+}
+
+TEST(DatasetsTest, AceHasSixDomains) {
+  Corpus ace = MakeDataset(kAce2005, 0.02);
+  std::set<std::string> domains;
+  for (const auto& sentence : ace.sentences) domains.insert(sentence.domain);
+  EXPECT_EQ(domains.size(), 6u);
+  for (const char* domain : kAceDomains) {
+    EXPECT_TRUE(domains.count(domain)) << domain;
+    Corpus filtered = ace.FilterDomain(domain);
+    EXPECT_FALSE(filtered.sentences.empty());
+    EXPECT_EQ(filtered.entity_types, ace.entity_types);  // intra-type
+  }
+}
+
+TEST(DatasetsTest, DomainVocabularyDistanceOrdering) {
+  // The generator's domain-distance knob must make BN/CTS share more filler
+  // vocabulary than BC/UN — the premise behind the paper's Table 3 ordering.
+  Corpus ace = MakeDataset(kAce2005, 0.05);
+  auto vocab_of = [&](const std::string& domain) {
+    std::set<std::string> words;
+    for (const auto& s : ace.FilterDomain(domain).sentences) {
+      for (const auto& token : s.tokens) words.insert(token);
+    }
+    return words;
+  };
+  auto jaccard = [](const std::set<std::string>& a, const std::set<std::string>& b) {
+    int64_t inter = 0;
+    for (const auto& w : a) inter += b.count(w);
+    return static_cast<double>(inter) /
+           static_cast<double>(a.size() + b.size() - inter);
+  };
+  auto bn = vocab_of("BN"), cts = vocab_of("CTS"), bc = vocab_of("BC"),
+       un = vocab_of("UN");
+  EXPECT_GT(jaccard(bn, cts), jaccard(bc, un));
+}
+
+TEST(DatasetsTest, SplitTypesDisjointAndSized) {
+  Corpus corpus = MakeDataset(kGenia, 0.02);
+  TypeSplit split = SplitTypes(corpus.entity_types, 18, 8, 10, 5);
+  EXPECT_EQ(split.train.size(), 18u);
+  EXPECT_EQ(split.val.size(), 8u);
+  EXPECT_EQ(split.test.size(), 10u);
+  std::set<std::string> all;
+  for (const auto& t : split.train) all.insert(t);
+  for (const auto& t : split.val) all.insert(t);
+  for (const auto& t : split.test) all.insert(t);
+  EXPECT_EQ(all.size(), 36u);  // no overlap
+}
+
+TEST(DatasetsTest, IntraDomainSplitSizesMatchPaper) {
+  int64_t tr = 0, va = 0, te = 0;
+  IntraDomainSplitSizes(kNne, &tr, &va, &te);
+  EXPECT_EQ(tr, 52);
+  EXPECT_EQ(va, 10);
+  EXPECT_EQ(te, 15);
+  IntraDomainSplitSizes(kFgNer, &tr, &va, &te);
+  EXPECT_EQ(tr, 163);
+  IntraDomainSplitSizes(kGenia, &tr, &va, &te);
+  EXPECT_EQ(te, 10);
+}
+
+// ----- episode sampler -----
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = GenerateCorpus(SmallSpec());
+    types_.assign(corpus_.entity_types.begin(), corpus_.entity_types.begin() + 8);
+  }
+  Corpus corpus_;
+  std::vector<std::string> types_;
+};
+
+TEST_F(SamplerTest, EpisodeHasExactlyNWays) {
+  EpisodeSampler sampler(&corpus_, types_, 5, 1, 4, 99);
+  for (uint64_t id = 0; id < 10; ++id) {
+    Episode episode = sampler.Sample(id);
+    EXPECT_EQ(episode.n_way(), 5);
+    std::set<std::string> distinct(episode.types.begin(), episode.types.end());
+    EXPECT_EQ(distinct.size(), 5u);
+    for (const auto& type : episode.types) {
+      EXPECT_TRUE(std::find(types_.begin(), types_.end(), type) != types_.end());
+    }
+  }
+}
+
+TEST_F(SamplerTest, SupportHasAtLeastKShotsPerWay) {
+  for (int64_t k : {1, 3}) {
+    EpisodeSampler sampler(&corpus_, types_, 4, k, 4, 7);
+    for (uint64_t id = 0; id < 8; ++id) {
+      Episode episode = sampler.Sample(id);
+      std::map<std::string, int64_t> counts;
+      for (const Sentence* sentence : episode.support) {
+        for (const auto& entity : sentence->entities) counts[entity.label] += 1;
+      }
+      for (const auto& way : episode.types) {
+        EXPECT_GE(counts[way], k) << way << " in episode " << id;
+      }
+    }
+  }
+}
+
+TEST_F(SamplerTest, MinimalityProperty) {
+  // Paper §3.1: removing any support sentence must leave some way below K.
+  EpisodeSampler sampler(&corpus_, types_, 5, 2, 4, 13);
+  for (uint64_t id = 0; id < 6; ++id) {
+    Episode episode = sampler.Sample(id);
+    for (size_t drop = 0; drop < episode.support.size(); ++drop) {
+      std::map<std::string, int64_t> counts;
+      for (size_t i = 0; i < episode.support.size(); ++i) {
+        if (i == drop) continue;
+        for (const auto& entity : episode.support[i]->entities) {
+          counts[entity.label] += 1;
+        }
+      }
+      bool some_below_k = false;
+      for (const auto& way : episode.types) {
+        if (counts[way] < 2) some_below_k = true;
+      }
+      EXPECT_TRUE(some_below_k) << "episode " << id << " sentence " << drop
+                                << " is removable";
+    }
+  }
+}
+
+TEST_F(SamplerTest, SupportAndQueryDisjoint) {
+  EpisodeSampler sampler(&corpus_, types_, 5, 1, 6, 21);
+  for (uint64_t id = 0; id < 10; ++id) {
+    Episode episode = sampler.Sample(id);
+    std::set<const Sentence*> support(episode.support.begin(),
+                                      episode.support.end());
+    for (const Sentence* q : episode.query) EXPECT_FALSE(support.count(q));
+  }
+}
+
+TEST_F(SamplerTest, QuerySentencesMentionEpisodeTypes) {
+  EpisodeSampler sampler(&corpus_, types_, 5, 1, 6, 23);
+  Episode episode = sampler.Sample(0);
+  std::set<std::string> ways(episode.types.begin(), episode.types.end());
+  for (const Sentence* sentence : episode.query) {
+    bool has_way = false;
+    for (const auto& entity : sentence->entities) has_way |= ways.count(entity.label) > 0;
+    EXPECT_TRUE(has_way);
+  }
+}
+
+TEST_F(SamplerTest, DeterministicPerId) {
+  EpisodeSampler a(&corpus_, types_, 5, 1, 4, 55);
+  EpisodeSampler b(&corpus_, types_, 5, 1, 4, 55);
+  for (uint64_t id : {0ull, 3ull, 9ull}) {
+    Episode ea = a.Sample(id);
+    Episode eb = b.Sample(id);
+    EXPECT_EQ(ea.types, eb.types);
+    EXPECT_EQ(ea.support, eb.support);
+    EXPECT_EQ(ea.query, eb.query);
+  }
+}
+
+TEST_F(SamplerTest, DifferentIdsDiffer) {
+  EpisodeSampler sampler(&corpus_, types_, 5, 1, 4, 55);
+  Episode a = sampler.Sample(0);
+  Episode b = sampler.Sample(1);
+  EXPECT_TRUE(a.types != b.types || a.support != b.support);
+}
+
+TEST_F(SamplerTest, RespectsQuerySizeCap) {
+  EpisodeSampler sampler(&corpus_, types_, 5, 1, 3, 77);
+  Episode episode = sampler.Sample(0);
+  EXPECT_LE(episode.query.size(), 3u);
+  EXPECT_GE(episode.query.size(), 1u);
+}
+
+TEST(SlotsForTest, MapsTypesToSlots) {
+  Sentence sentence;
+  sentence.tokens = {"a", "b", "c"};
+  sentence.entities = {{0, 1, "PER"}, {1, 2, "ORG"}, {2, 3, "LOC"}};
+  auto slots = SlotsFor(sentence, {"ORG", "PER"});
+  EXPECT_EQ(slots, (std::vector<int64_t>{1, 0, -1}));
+}
+
+}  // namespace
+}  // namespace fewner::data

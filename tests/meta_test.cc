@@ -1,0 +1,233 @@
+// Integration tests for the meta-learning methods on a tiny synthetic world:
+// adaptation must reduce support loss, training must leave models functional,
+// and every method must produce well-formed predictions on the same episodes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "meta/fewner.h"
+#include "meta/finetune.h"
+#include "meta/lm_tagger.h"
+#include "meta/maml.h"
+#include "meta/protonet.h"
+#include "meta/snail.h"
+#include "models/lm_encoder.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "text/bio.h"
+
+namespace fewner::meta {
+namespace {
+
+using tensor::Tensor;
+
+/// Tiny shared fixture: small corpus, small model, few iterations.
+class MetaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticSpec spec;
+    spec.name = "tiny";
+    spec.genre = "newswire";
+    spec.num_types = 8;
+    spec.num_sentences = 260;
+    spec.mentions_per_sentence = 2.0;
+    spec.seed = 3;
+    spec.type_pool_offset = 7500;
+    corpus_ = data::GenerateCorpus(spec);
+
+    text::VocabBuilder builder;
+    for (const auto& sentence : corpus_.sentences) builder.AddSentence(sentence.tokens);
+    words_ = builder.BuildWordVocab();
+    chars_ = builder.BuildCharVocab();
+
+    config_.word_vocab_size = words_.size();
+    config_.char_vocab_size = chars_.size();
+    config_.word_dim = 10;
+    config_.char_dim = 6;
+    config_.filters_per_width = 4;
+    config_.hidden_dim = 10;
+    config_.max_tags = text::NumTags(3);
+    config_.context_dim = 8;
+    config_.dropout = 0.1f;
+
+    encoder_ = std::make_unique<models::EpisodeEncoder>(&words_, &chars_,
+                                                        config_.max_tags);
+    sampler_ = std::make_unique<data::EpisodeSampler>(
+        &corpus_, corpus_.entity_types, 3, 1, 4, 17);
+
+    train_config_.iterations = 3;
+    train_config_.meta_batch = 2;
+    train_config_.train_query_size = 2;
+  }
+
+  models::EncodedEpisode EncodeEpisode(uint64_t id) {
+    data::Episode episode = sampler_->Sample(id);
+    if (episode.query.size() > 2) episode.query.resize(2);
+    return encoder_->Encode(episode);
+  }
+
+  void CheckPredictions(FewShotMethod* method) {
+    models::EncodedEpisode episode = EncodeEpisode(100);
+    auto predictions = method->AdaptAndPredict(episode);
+    ASSERT_EQ(predictions.size(), episode.query.size());
+    for (size_t q = 0; q < predictions.size(); ++q) {
+      ASSERT_EQ(static_cast<int64_t>(predictions[q].size()),
+                episode.query[q].length());
+      for (int64_t tag : predictions[q]) {
+        EXPECT_GE(tag, 0);
+        EXPECT_LT(tag, config_.max_tags);
+        EXPECT_TRUE(episode.valid_tags[static_cast<size_t>(tag)]);
+      }
+    }
+    // Evaluation of well-formed predictions must yield a score in [0, 1].
+    const double f1 = eval::EpisodeF1(episode, predictions);
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 1.0);
+  }
+
+  data::Corpus corpus_;
+  text::Vocab words_, chars_;
+  models::BackboneConfig config_;
+  std::unique_ptr<models::EpisodeEncoder> encoder_;
+  std::unique_ptr<data::EpisodeSampler> sampler_;
+  TrainConfig train_config_;
+};
+
+TEST_F(MetaTest, FewnerInnerLoopReducesSupportLoss) {
+  util::Rng rng(1);
+  Fewner fewner(config_, &rng);
+  fewner.backbone()->SetTraining(false);
+  models::EncodedEpisode episode = EncodeEpisode(0);
+  Tensor phi0 = fewner.backbone()->ZeroContext();
+  const float before =
+      fewner.backbone()->BatchLoss(episode.support, phi0, episode.valid_tags).item();
+  Tensor phi = fewner.AdaptContext(episode.support, episode.valid_tags, 6, 0.1f,
+                                   /*create_graph=*/false);
+  const float after =
+      fewner.backbone()->BatchLoss(episode.support, phi, episode.valid_tags).item();
+  EXPECT_LT(after, before);
+}
+
+TEST_F(MetaTest, FewnerAdaptedPhiIsFunctionOfTheta) {
+  // With create_graph, φ_k must carry gradient back to θ (the second-order
+  // path of Eq. 6).
+  util::Rng rng(1);
+  Fewner fewner(config_, &rng);
+  fewner.backbone()->SetTraining(false);
+  models::EncodedEpisode episode = EncodeEpisode(0);
+  Tensor phi = fewner.AdaptContext(episode.support, episode.valid_tags, 2, 0.1f,
+                                   /*create_graph=*/true);
+  Tensor probe = tensor::SumAll(tensor::Square(phi));
+  auto grads = tensor::autodiff::Grad(
+      probe, nn::ParameterTensors(fewner.backbone()));
+  double total = 0;
+  for (const auto& g : grads) {
+    for (float v : g.data()) total += std::abs(v);
+  }
+  EXPECT_GT(total, 1e-8);
+}
+
+TEST_F(MetaTest, FewnerTrainStepRunsAndPredicts) {
+  util::Rng rng(1);
+  Fewner fewner(config_, &rng);
+  fewner.Train(*sampler_, *encoder_, train_config_);
+  CheckPredictions(&fewner);
+}
+
+TEST_F(MetaTest, FewnerTrainingMovesTheta) {
+  util::Rng rng(1);
+  Fewner fewner(config_, &rng);
+  auto before = nn::SnapshotParameterValues(fewner.backbone());
+  fewner.Train(*sampler_, *encoder_, train_config_);
+  auto after = nn::SnapshotParameterValues(fewner.backbone());
+  double delta = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    for (size_t j = 0; j < before[i].size(); ++j) {
+      delta += std::abs(before[i][j] - after[i][j]);
+    }
+  }
+  EXPECT_GT(delta, 1e-4);
+}
+
+TEST_F(MetaTest, MamlInnerAdaptReducesSupportLossAndRestores) {
+  util::Rng rng(1);
+  Maml maml(config_, &rng);
+  maml.backbone()->SetTraining(false);
+  models::EncodedEpisode episode = EncodeEpisode(0);
+  auto snapshot = nn::SnapshotParameterValues(maml.backbone());
+  const float before =
+      maml.backbone()->BatchLoss(episode.support, Tensor(), episode.valid_tags).item();
+  auto adapted = maml.InnerAdapt(episode.support, episode.valid_tags, 4, 0.1f,
+                                 /*create_graph=*/false);
+  float after = 0;
+  {
+    nn::ParameterPatch patch(maml.backbone()->Parameters(), adapted);
+    after = maml.backbone()
+                ->BatchLoss(episode.support, Tensor(), episode.valid_tags)
+                .item();
+  }
+  EXPECT_LT(after, before);
+  // Patch destruction restored the original parameters.
+  auto restored = nn::SnapshotParameterValues(maml.backbone());
+  for (size_t i = 0; i < snapshot.size(); ++i) EXPECT_EQ(snapshot[i], restored[i]);
+}
+
+TEST_F(MetaTest, MamlTrainsAndPredicts) {
+  util::Rng rng(1);
+  Maml maml(config_, &rng);
+  maml.Train(*sampler_, *encoder_, train_config_);
+  CheckPredictions(&maml);
+}
+
+TEST_F(MetaTest, FineTuneTrainsAndPredictionRestoresParameters) {
+  util::Rng rng(1);
+  FineTune finetune(config_, &rng);
+  finetune.Train(*sampler_, *encoder_, train_config_);
+  auto before = nn::SnapshotParameterValues(finetune.backbone());
+  CheckPredictions(&finetune);
+  auto after = nn::SnapshotParameterValues(finetune.backbone());
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+}
+
+TEST_F(MetaTest, ProtoNetTrainsAndPredicts) {
+  util::Rng rng(1);
+  ProtoNet protonet(config_, &rng);
+  protonet.Train(*sampler_, *encoder_, train_config_);
+  CheckPredictions(&protonet);
+}
+
+TEST_F(MetaTest, SnailTrainsAndPredicts) {
+  util::Rng rng(1);
+  Snail snail(config_, &rng);
+  snail.Train(*sampler_, *encoder_, train_config_);
+  CheckPredictions(&snail);
+}
+
+TEST_F(MetaTest, LmTaggerTrainsAndPredicts) {
+  util::Rng rng(1);
+  models::LmConfig lm_config;
+  lm_config.model_dim = 12;
+  lm_config.num_layers = 1;
+  lm_config.ffn_dim = 16;
+  lm_config.gru_hidden = 8;
+  auto lm = std::make_shared<models::PretrainedLmEncoder>(
+      models::LmKind::kGpt2, lm_config, &words_, &chars_, &rng);
+  LmCrfTagger tagger(lm, config_.max_tags, &rng);
+  EXPECT_EQ(tagger.name(), "GPT2");
+  tagger.Train(*sampler_, *encoder_, train_config_);
+  CheckPredictions(&tagger);
+}
+
+TEST_F(MetaTest, MethodsShareEvaluationEpisodes) {
+  // Deterministic sampling means two methods see the exact same eval task.
+  data::Episode a = sampler_->Sample(42);
+  data::Episode b = sampler_->Sample(42);
+  EXPECT_EQ(a.types, b.types);
+  EXPECT_EQ(a.support, b.support);
+}
+
+}  // namespace
+}  // namespace fewner::meta

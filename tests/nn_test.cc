@@ -1,0 +1,409 @@
+// Tests for the neural-net layer library: module registration, parameter
+// patching, layer forwards (with finite-difference gradient checks through
+// composite layers), and optimizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/attention.h"
+#include "nn/char_cnn.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+
+namespace fewner::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::autodiff::Grad;
+
+TEST(ModuleTest, RegistersParametersHierarchically) {
+  util::Rng rng(1);
+  Linear inner(3, 2, &rng);
+  EXPECT_EQ(inner.Parameters().size(), 2u);  // weight + bias
+  EXPECT_EQ(inner.ParameterCount(), 3 * 2 + 2);
+
+  auto named = inner.NamedParameters();
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  util::Rng rng(1);
+  BiGru gru(4, 3, &rng);
+  gru.SetTraining(false);
+  EXPECT_FALSE(gru.training());
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  util::Rng rng(1), rng2(2);
+  Linear a(3, 2, &rng), b(3, 2, &rng2);
+  EXPECT_NE(a.Parameters()[0]->at(0), b.Parameters()[0]->at(0));
+  a.CopyParametersFrom(&b);
+  EXPECT_FLOAT_EQ(a.Parameters()[0]->at(0), b.Parameters()[0]->at(0));
+}
+
+TEST(ParameterPatchTest, ReplacesAndRestores) {
+  util::Rng rng(1);
+  Linear layer(2, 2, &rng);
+  Tensor* weight_slot = layer.Parameters()[0];
+  const float original = weight_slot->at(0);
+  {
+    std::vector<Tensor> replacement = {Tensor::Full(Shape{2, 2}, 9.0f),
+                                       Tensor::Zeros(Shape{2})};
+    ParameterPatch patch(layer.Parameters(), replacement);
+    EXPECT_FLOAT_EQ(layer.Parameters()[0]->at(0), 9.0f);
+    Tensor out = layer.Forward(Tensor::Ones(Shape{1, 2}));
+    EXPECT_FLOAT_EQ(out.at(0), 18.0f);
+  }
+  EXPECT_FLOAT_EQ(layer.Parameters()[0]->at(0), original);
+}
+
+TEST(ParameterValuesTest, SnapshotRestoreRoundTrip) {
+  util::Rng rng(1);
+  Linear layer(2, 2, &rng);
+  auto snapshot = SnapshotParameterValues(&layer);
+  (*layer.Parameters()[0]->mutable_data())[0] += 5.0f;
+  RestoreParameterValues(&layer, snapshot);
+  EXPECT_FLOAT_EQ(layer.Parameters()[0]->at(0), snapshot[0][0]);
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  util::Rng rng(3);
+  Linear layer(2, 1, &rng);
+  std::vector<float>* w = layer.Parameters()[0]->mutable_data();
+  (*w)[0] = 2.0f;
+  (*w)[1] = -1.0f;
+  (*layer.Parameters()[1]->mutable_data())[0] = 0.5f;
+  Tensor out = layer.Forward(Tensor::FromData(Shape{1, 2}, {3.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(out.at(0), 3.0f * 2.0f + 4.0f * (-1.0f) + 0.5f);
+}
+
+TEST(LinearTest, GradFlowsToWeights) {
+  util::Rng rng(3);
+  Linear layer(3, 2, &rng);
+  Tensor x = Tensor::Ones(Shape{2, 3});
+  Tensor loss = tensor::SumAll(tensor::Square(layer.Forward(x)));
+  auto grads = Grad(loss, ParameterTensors(&layer));
+  EXPECT_EQ(grads.size(), 2u);
+  double norm = 0;
+  for (float v : grads[0].data()) norm += std::abs(v);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(EmbeddingTest, LookupAndPretrained) {
+  util::Rng rng(5);
+  Embedding embedding(4, 3, &rng);
+  embedding.LoadPretrained({{0, 0, 0}, {1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Tensor out = embedding.Forward({2, 0, 2});
+  EXPECT_EQ(out.shape(), (Shape{3, 3}));
+  EXPECT_FLOAT_EQ(out.at(0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(3), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(8), 6.0f);
+}
+
+TEST(EmbeddingTest, GradAccumulatesOnRepeatedIds) {
+  util::Rng rng(5);
+  Embedding embedding(3, 2, &rng);
+  Tensor out = embedding.Forward({1, 1});
+  auto grads = Grad(tensor::SumAll(out), ParameterTensors(&embedding));
+  EXPECT_FLOAT_EQ(grads[0].at(2), 2.0f);  // row 1 selected twice
+  EXPECT_FLOAT_EQ(grads[0].at(0), 0.0f);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(4);
+  Tensor x = Tensor::FromData(Shape{2, 4}, {1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor out = norm.Forward(x);
+  // First row: mean 2.5 removed, unit variance.
+  double mean = 0;
+  for (int i = 0; i < 4; ++i) mean += out.at(i);
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  // Constant row stays ~0 (variance eps guard, no NaN).
+  EXPECT_NEAR(out.at(4), 0.0f, 1e-2);
+  EXPECT_FALSE(std::isnan(out.at(4)));
+}
+
+TEST(FilmTest, ZeroContextIsIdentity) {
+  util::Rng rng(7);
+  FilmGenerator film(4, 3, &rng);
+  Tensor h = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor out = film.Forward(h, Tensor::Zeros(Shape{4}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_NEAR(out.at(i), h.at(i), 1e-6);
+}
+
+TEST(FilmTest, NonZeroContextModulates) {
+  util::Rng rng(7);
+  FilmGenerator film(4, 3, &rng);
+  Tensor h = Tensor::Ones(Shape{2, 3});
+  Tensor out = film.Forward(h, Tensor::Ones(Shape{4}));
+  bool changed = false;
+  for (int64_t i = 0; i < 6; ++i) changed = changed || std::abs(out.at(i) - 1.0f) > 1e-4;
+  EXPECT_TRUE(changed);
+}
+
+TEST(FilmTest, GradReachesContext) {
+  util::Rng rng(7);
+  FilmGenerator film(4, 3, &rng);
+  Tensor h = Tensor::Ones(Shape{2, 3});
+  Tensor phi = Tensor::Zeros(Shape{4}, /*requires_grad=*/true);
+  Tensor loss = tensor::SumAll(tensor::Square(film.Forward(h, phi)));
+  auto g = Grad(loss, {phi});
+  double norm = 0;
+  for (float v : g[0].data()) norm += std::abs(v);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(CharCnnTest, ShapesAndShortWordPadding) {
+  util::Rng rng(9);
+  CharCnnConfig config;
+  config.char_vocab_size = 20;
+  config.char_dim = 6;
+  config.filter_widths = {2, 3};
+  config.filters_per_width = 4;
+  CharCnn cnn(config, &rng);
+  EXPECT_EQ(cnn.output_dim(), 8);
+  // Words shorter than the widest filter must still encode (padding).
+  Tensor out = cnn.Forward({{5}, {3, 4, 5, 6, 7}, {2, 2}});
+  EXPECT_EQ(out.shape(), (Shape{3, 8}));
+}
+
+TEST(CharCnnTest, SuffixSensitivity) {
+  // Two words sharing a suffix should be closer in CNN space than unrelated
+  // words, since max-pooled filters fire on the shared window.
+  util::Rng rng(11);
+  CharCnnConfig config;
+  config.char_vocab_size = 30;
+  config.char_dim = 8;
+  config.filters_per_width = 8;
+  CharCnn cnn(config, &rng);
+  auto encode = [&](std::vector<int64_t> word) {
+    return cnn.Forward({std::move(word)});
+  };
+  Tensor a = encode({4, 5, 10, 11, 12});   // stem A + suffix
+  Tensor b = encode({7, 8, 10, 11, 12});   // stem B + same suffix
+  Tensor c = encode({14, 15, 16, 17, 18});  // unrelated
+  auto dist = [&](const Tensor& x, const Tensor& y) {
+    double d = 0;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      d += (x.at(i) - y.at(i)) * (x.at(i) - y.at(i));
+    }
+    return d;
+  };
+  EXPECT_LT(dist(a, b), dist(a, c));
+}
+
+TEST(GruTest, ShapesAndStatePropagation) {
+  util::Rng rng(13);
+  GruCell cell(4, 3, &rng);
+  Tensor x = Tensor::Ones(Shape{5, 4});
+  Tensor projected = cell.ProjectInput(x);
+  EXPECT_EQ(projected.shape(), (Shape{5, 9}));
+  Tensor h = Tensor::Zeros(Shape{1, 3});
+  Tensor h1 = cell.Step(tensor::Slice(projected, 0, 0, 1), h);
+  EXPECT_EQ(h1.shape(), (Shape{1, 3}));
+  // State must change from zero on non-trivial input.
+  double norm = 0;
+  for (float v : h1.data()) norm += std::abs(v);
+  EXPECT_GT(norm, 1e-4);
+}
+
+TEST(BiGruTest, OutputShapeAndDirectionality) {
+  util::Rng rng(15);
+  BiGru gru(3, 4, &rng);
+  Tensor x = Tensor::Randn(Shape{6, 3}, &rng);
+  Tensor out = gru.Forward(x);
+  EXPECT_EQ(out.shape(), (Shape{6, 8}));
+
+  // Changing the LAST token must change the backward features of the FIRST
+  // token (information flows right-to-left) but not its forward features.
+  std::vector<float> perturbed = x.data();
+  perturbed[15] += 1.0f;  // last row, first feature
+  Tensor out2 = gru.Forward(Tensor::FromData(Shape{6, 3}, perturbed));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.at(j), out2.at(j)) << "forward feature " << j;
+  }
+  double backward_delta = 0;
+  for (int64_t j = 4; j < 8; ++j) backward_delta += std::abs(out.at(j) - out2.at(j));
+  EXPECT_GT(backward_delta, 1e-5);
+}
+
+TEST(BiGruTest, GradCheckThroughTime) {
+  util::Rng rng(17);
+  BiGru gru(2, 2, &rng);
+  Tensor x = Tensor::Randn(Shape{3, 2}, &rng, 0.5f, /*requires_grad=*/true);
+  Tensor loss = tensor::SumAll(tensor::Square(gru.Forward(x)));
+  auto g = Grad(loss, {x});
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    std::vector<float> plus = x.data(), minus = x.data();
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    const float lp = tensor::SumAll(tensor::Square(gru.Forward(
+                                        Tensor::FromData(x.shape(), plus))))
+                         .item();
+    const float lm = tensor::SumAll(tensor::Square(gru.Forward(
+                                        Tensor::FromData(x.shape(), minus))))
+                         .item();
+    EXPECT_NEAR(g[0].at(i), (lp - lm) / (2 * eps), 5e-2) << "element " << i;
+  }
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  util::Rng rng(19);
+  SelfAttention attention(4, AttentionMask::kCausal, &rng);
+  Tensor x = Tensor::Randn(Shape{5, 4}, &rng);
+  Tensor out = attention.Forward(x);
+  // Perturbing the last token must not change the first token's output.
+  std::vector<float> perturbed = x.data();
+  perturbed[16] += 2.0f;
+  Tensor out2 = attention.Forward(Tensor::FromData(Shape{5, 4}, perturbed));
+  for (int64_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(out.at(j), out2.at(j));
+}
+
+TEST(AttentionTest, BidirectionalSeesFuture) {
+  util::Rng rng(19);
+  SelfAttention attention(4, AttentionMask::kNone, &rng);
+  Tensor x = Tensor::Randn(Shape{5, 4}, &rng);
+  Tensor out = attention.Forward(x);
+  std::vector<float> perturbed = x.data();
+  perturbed[16] += 2.0f;
+  Tensor out2 = attention.Forward(Tensor::FromData(Shape{5, 4}, perturbed));
+  double delta = 0;
+  for (int64_t j = 0; j < 4; ++j) delta += std::abs(out.at(j) - out2.at(j));
+  EXPECT_GT(delta, 1e-6);
+}
+
+TEST(TransformerBlockTest, ShapePreservingAndDifferentiable) {
+  util::Rng rng(21);
+  TransformerBlock block(4, 8, AttentionMask::kCausal, &rng);
+  Tensor x = Tensor::Randn(Shape{3, 4}, &rng, 1.0f, true);
+  Tensor out = block.Forward(x);
+  EXPECT_EQ(out.shape(), (Shape{3, 4}));
+  auto g = Grad(tensor::SumAll(tensor::Square(out)), {x});
+  EXPECT_EQ(g[0].shape(), x.shape());
+}
+
+TEST(DilatedCausalConvTest, CausalityAndGrowth) {
+  util::Rng rng(23);
+  DilatedCausalConv conv(3, 2, 2, &rng);
+  Tensor x = Tensor::Randn(Shape{5, 3}, &rng);
+  Tensor out = conv.Forward(x);
+  EXPECT_EQ(out.shape(), (Shape{5, 5}));
+  // Perturb the last position: outputs at position 0 must not change.
+  std::vector<float> perturbed = x.data();
+  perturbed[12] += 1.0f;
+  Tensor out2 = conv.Forward(Tensor::FromData(Shape{5, 3}, perturbed));
+  for (int64_t j = 0; j < 5; ++j) EXPECT_FLOAT_EQ(out.at(j), out2.at(j));
+}
+
+TEST(OptimTest, ClipGradNorm) {
+  std::vector<Tensor> grads = {Tensor::Full(Shape{4}, 3.0f)};  // norm 6
+  float norm = ClipGradNorm(&grads, 3.0f);
+  EXPECT_NEAR(norm, 6.0f, 1e-4);
+  double new_norm = 0;
+  for (float v : grads[0].data()) new_norm += v * v;
+  EXPECT_NEAR(std::sqrt(new_norm), 3.0f, 1e-3);
+
+  std::vector<Tensor> small = {Tensor::Full(Shape{4}, 0.1f)};
+  ClipGradNorm(&small, 3.0f);
+  EXPECT_FLOAT_EQ(small[0].at(0), 0.1f);  // untouched below the cap
+}
+
+TEST(OptimTest, SgdConvergesOnQuadratic) {
+  Tensor w = Tensor::FromData(Shape{2}, {5.0f, -3.0f}, true);
+  Sgd sgd({&w}, 0.2f);
+  for (int step = 0; step < 60; ++step) {
+    Tensor loss = tensor::SumAll(tensor::Square(w));
+    sgd.Step(Grad(loss, {w}));
+  }
+  EXPECT_NEAR(w.at(0), 0.0f, 1e-3);
+  EXPECT_NEAR(w.at(1), 0.0f, 1e-3);
+}
+
+TEST(OptimTest, AdamConvergesOnQuadratic) {
+  Tensor w = Tensor::FromData(Shape{2}, {5.0f, -3.0f}, true);
+  Adam adam({&w}, 0.3f);
+  for (int step = 0; step < 200; ++step) {
+    Tensor loss = tensor::SumAll(tensor::Square(w));
+    adam.Step(Grad(loss, {w}));
+  }
+  EXPECT_NEAR(w.at(0), 0.0f, 1e-2);
+  EXPECT_NEAR(w.at(1), 0.0f, 1e-2);
+}
+
+TEST(OptimTest, AdamLrDecay) {
+  Tensor w = Tensor::Zeros(Shape{1}, true);
+  Adam adam({&w}, 1.0f);
+  adam.DecayLr(0.9f);
+  EXPECT_NEAR(adam.lr(), 0.9f, 1e-6);
+}
+
+TEST(OptimTest, WeightDecayShrinksParameters) {
+  Tensor w = Tensor::FromData(Shape{1}, {10.0f}, true);
+  Sgd sgd({&w}, 0.1f, /*weight_decay=*/0.5f);
+  sgd.Step({Tensor::Zeros(Shape{1})});
+  EXPECT_LT(w.at(0), 10.0f);
+}
+
+}  // namespace
+}  // namespace fewner::nn
+
+// Serialization tests live here since they operate on Module parameters.
+#include <cstdio>
+#include <fstream>
+
+#include "nn/serialization.h"
+
+namespace fewner::nn {
+namespace {
+
+TEST(SerializationTest, SaveLoadRoundTrip) {
+  util::Rng rng(1), rng2(2);
+  BiGru a(4, 3, &rng);
+  BiGru b(4, 3, &rng2);
+  const std::string path = ::testing::TempDir() + "/fewner_ckpt.bin";
+  ASSERT_TRUE(SaveParameters(&a, path).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->data(), pb[i]->data()) << "slot " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchIsRejected) {
+  util::Rng rng(1);
+  Linear a(3, 2, &rng);
+  Linear b(3, 4, &rng);
+  const std::string path = ::testing::TempDir() + "/fewner_bad.bin";
+  ASSERT_TRUE(SaveParameters(&a, path).ok());
+  EXPECT_FALSE(LoadParameters(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsNotFound) {
+  util::Rng rng(1);
+  Linear a(2, 2, &rng);
+  util::Status status = LoadParameters(&a, "/nonexistent/fewner.bin");
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, GarbageFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/fewner_garbage.bin";
+  { std::ofstream out(path); out << "this is not a checkpoint"; }
+  util::Rng rng(1);
+  Linear a(2, 2, &rng);
+  EXPECT_FALSE(LoadParameters(&a, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fewner::nn

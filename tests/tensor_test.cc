@@ -1,0 +1,312 @@
+// Tests for shapes, tensor construction, and forward semantics of every op.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fewner::tensor {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s{3, 4};
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.numel(), 12);
+  EXPECT_EQ(s.ToString(), "[3, 4]");
+  Shape scalar{};
+  EXPECT_EQ(scalar.rank(), 0);
+  EXPECT_EQ(scalar.numel(), 1);
+}
+
+TEST(ShapeTest, Strides) {
+  Shape s{2, 3, 4};
+  auto strides = s.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, BroadcastRules) {
+  auto r = Shape::Broadcast(Shape{3, 1}, Shape{1, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (Shape{3, 4}));
+
+  r = Shape::Broadcast(Shape{5}, Shape{2, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (Shape{2, 5}));
+
+  r = Shape::Broadcast(Shape{}, Shape{2, 5});  // scalar broadcasts anywhere
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (Shape{2, 5}));
+
+  EXPECT_FALSE(Shape::Broadcast(Shape{3}, Shape{4}).ok());
+}
+
+TEST(ShapeTest, BroadcastableTo) {
+  EXPECT_TRUE(Shape({1, 4}).BroadcastableTo(Shape{3, 4}));
+  EXPECT_TRUE(Shape({}).BroadcastableTo(Shape{3, 4}));
+  EXPECT_FALSE(Shape({2, 4}).BroadcastableTo(Shape{3, 4}));
+  EXPECT_FALSE(Shape({3, 4}).BroadcastableTo(Shape{4}));
+}
+
+TEST(TensorTest, Construction) {
+  Tensor t = Tensor::FromData(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.numel(), 4);
+  EXPECT_FLOAT_EQ(t.at(3), 4.0f);
+  EXPECT_FALSE(t.requires_grad());
+
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_FLOAT_EQ(s.item(), 2.5f);
+
+  Tensor z = Tensor::Zeros(Shape{3});
+  EXPECT_FLOAT_EQ(z.at(0) + z.at(1) + z.at(2), 0.0f);
+
+  Tensor o = Tensor::Ones(Shape{2}, /*requires_grad=*/true);
+  EXPECT_TRUE(o.requires_grad());
+}
+
+TEST(TensorTest, RandnStats) {
+  util::Rng rng(3);
+  Tensor t = Tensor::Randn(Shape{10000}, &rng, 2.0f);
+  double mean = 0, var = 0;
+  for (float v : t.data()) mean += v;
+  mean /= t.numel();
+  for (float v : t.data()) var += (v - mean) * (v - mean);
+  var /= t.numel();
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(TensorTest, DetachSharesValuesCutsGraph) {
+  Tensor a = Tensor::Ones(Shape{2}, true);
+  Tensor b = MulScalar(a, 3.0f);
+  EXPECT_TRUE(b.requires_grad());
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.at(0), 3.0f);
+}
+
+TEST(OpsTest, AddSubMulDiv) {
+  Tensor a = Tensor::FromData(Shape{2}, {1, 2});
+  Tensor b = Tensor::FromData(Shape{2}, {3, 5});
+  EXPECT_FLOAT_EQ(Add(a, b).at(1), 7.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b).at(0), -2.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(1), 10.0f);
+  EXPECT_FLOAT_EQ(Div(b, a).at(1), 2.5f);
+}
+
+TEST(OpsTest, BroadcastAddRowVector) {
+  Tensor m = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = Tensor::FromData(Shape{3}, {10, 20, 30});
+  Tensor out = Add(m, row);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(out.at(0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(5), 36.0f);
+}
+
+TEST(OpsTest, BroadcastColumnAgainstMatrix) {
+  Tensor col = Tensor::FromData(Shape{2, 1}, {1, 2});
+  Tensor m = Tensor::FromData(Shape{2, 3}, {0, 0, 0, 0, 0, 0});
+  Tensor out = Add(m, col);
+  EXPECT_FLOAT_EQ(out.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(3), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(5), 2.0f);
+}
+
+TEST(OpsTest, ScalarBroadcast) {
+  Tensor m = Tensor::FromData(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(10.0f);
+  EXPECT_FLOAT_EQ(Mul(m, s).at(3), 40.0f);
+}
+
+TEST(OpsTest, Unary) {
+  Tensor t = Tensor::FromData(Shape{3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(Neg(t).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(Relu(t).at(0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(t).at(2), 2.0f);
+  EXPECT_NEAR(Sigmoid(t).at(1), 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(t).at(2), std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(Exp(t).at(2), std::exp(2.0f), 1e-4);
+  Tensor pos = Tensor::FromData(Shape{2}, {1.0f, std::exp(1.0f)});
+  EXPECT_NEAR(Log(pos).at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(Sqrt(Tensor::FromData(Shape{1}, {9.0f})).at(0), 3.0f, 1e-6);
+  EXPECT_FLOAT_EQ(Square(t).at(2), 4.0f);
+}
+
+TEST(OpsTest, ScalarForms) {
+  Tensor t = Tensor::FromData(Shape{2}, {1, 2});
+  EXPECT_FLOAT_EQ(AddScalar(t, 0.5f).at(0), 1.5f);
+  EXPECT_FLOAT_EQ(MulScalar(t, -2.0f).at(1), -4.0f);
+}
+
+TEST(OpsTest, ReshapeTranspose) {
+  Tensor t = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(t, Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.at(2), 3.0f);  // same row-major data
+
+  Tensor tr = Transpose(t);
+  EXPECT_EQ(tr.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(tr.at(1), 4.0f);  // tr[0,1] = t[1,0]
+}
+
+TEST(OpsTest, BroadcastToAndSumToAreAdjoint) {
+  Tensor t = Tensor::FromData(Shape{3}, {1, 2, 3});
+  Tensor b = BroadcastTo(t, Shape{2, 3});
+  EXPECT_FLOAT_EQ(b.at(3), 1.0f);
+  Tensor s = SumTo(b, Shape{3});
+  EXPECT_FLOAT_EQ(s.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(2), 6.0f);
+}
+
+TEST(OpsTest, ConcatAndSlice) {
+  Tensor a = Tensor::FromData(Shape{1, 2}, {1, 2});
+  Tensor b = Tensor::FromData(Shape{2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(c.at(4), 5.0f);
+
+  Tensor mid = Slice(c, 0, 1, 2);
+  EXPECT_EQ(mid.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(mid.at(0), 3.0f);
+
+  Tensor cols = Concat({a, a}, 1);
+  EXPECT_EQ(cols.shape(), (Shape{1, 4}));
+  EXPECT_FLOAT_EQ(cols.at(2), 1.0f);
+
+  Tensor col_slice = Slice(b, 1, 1, 1);
+  EXPECT_EQ(col_slice.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(col_slice.at(1), 6.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor t = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(t).item(), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAll(t).item(), 3.5f);
+
+  Tensor rows = SumAxis(t, 1, /*keepdim=*/false);
+  EXPECT_EQ(rows.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(rows.at(0), 6.0f);
+
+  Tensor cols = SumAxis(t, 0, /*keepdim=*/true);
+  EXPECT_EQ(cols.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(cols.at(2), 9.0f);
+}
+
+TEST(OpsTest, MaxAxis) {
+  Tensor t = Tensor::FromData(Shape{2, 3}, {1, 9, 3, 7, 5, 6});
+  Tensor m = MaxAxis(t, 1, /*keepdim=*/false);
+  EXPECT_EQ(m.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(m.at(0), 9.0f);
+  EXPECT_FLOAT_EQ(m.at(1), 7.0f);
+
+  Tensor m0 = MaxAxis(t, 0, /*keepdim=*/true);
+  EXPECT_EQ(m0.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(m0.at(0), 7.0f);
+}
+
+TEST(OpsTest, MatMul) {
+  Tensor a = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 154.0f);
+}
+
+TEST(OpsTest, IndexSelectAndScatterAdd) {
+  Tensor w = Tensor::FromData(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor sel = IndexSelectRows(w, {2, 0, 2});
+  EXPECT_EQ(sel.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(sel.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(sel.at(2), 1.0f);
+
+  Tensor scattered = ScatterAddRows(sel, {2, 0, 2}, 3);
+  EXPECT_EQ(scattered.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(scattered.at(0), 1.0f);   // row 0 got one copy
+  EXPECT_FLOAT_EQ(scattered.at(4), 10.0f);  // row 2 got two copies of 5
+  EXPECT_FLOAT_EQ(scattered.at(2), 0.0f);   // row 1 untouched
+}
+
+TEST(OpsTest, UnfoldFold) {
+  // [4, 2] sequence, window 2 -> [3, 4].
+  Tensor t = Tensor::FromData(Shape{4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor u = Unfold1d(t, 2);
+  EXPECT_EQ(u.shape(), (Shape{3, 4}));
+  // Row 1 is rows 1..2 of the input: [3, 4, 5, 6].
+  EXPECT_FLOAT_EQ(u.at(4), 3.0f);
+  EXPECT_FLOAT_EQ(u.at(7), 6.0f);
+
+  Tensor f = Fold1d(u, 2);
+  EXPECT_EQ(f.shape(), (Shape{4, 2}));
+  // Middle rows are double-counted by overlap-add.
+  EXPECT_FLOAT_EQ(f.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(f.at(2), 6.0f);
+  EXPECT_FLOAT_EQ(f.at(7), 8.0f);
+}
+
+TEST(OpsTest, LogSumExpMatchesNaive) {
+  Tensor t = Tensor::FromData(Shape{2, 3}, {1, 2, 3, -1, -2, -3});
+  Tensor lse = LogSumExpLastDim(t);
+  EXPECT_EQ(lse.shape(), (Shape{2, 1}));
+  const float expected0 =
+      std::log(std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f));
+  EXPECT_NEAR(lse.at(0), expected0, 1e-5);
+}
+
+TEST(OpsTest, LogSumExpStableForLargeInputs) {
+  Tensor t = Tensor::FromData(Shape{1, 2}, {1000.0f, 1000.0f});
+  Tensor lse = LogSumExpLastDim(t);
+  EXPECT_NEAR(lse.at(0), 1000.0f + std::log(2.0f), 1e-3);
+  EXPECT_TRUE(std::isfinite(lse.at(0)));
+}
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  Tensor t = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 0, 0, 0});
+  Tensor p = SoftmaxLastDim(t);
+  EXPECT_NEAR(p.at(0) + p.at(1) + p.at(2), 1.0f, 1e-5);
+  EXPECT_NEAR(p.at(3), 1.0f / 3.0f, 1e-5);
+  Tensor lp = LogSoftmaxLastDim(t);
+  EXPECT_NEAR(std::exp(lp.at(2)), p.at(2), 1e-5);
+}
+
+TEST(OpsTest, DropoutIdentityWhenEval) {
+  util::Rng rng(1);
+  Tensor t = Tensor::Ones(Shape{100});
+  Tensor out = Dropout(t, 0.5f, &rng, /*training=*/false);
+  EXPECT_FLOAT_EQ(out.at(50), 1.0f);
+}
+
+TEST(OpsTest, DropoutPreservesExpectation) {
+  util::Rng rng(1);
+  Tensor t = Tensor::Ones(Shape{20000});
+  Tensor out = Dropout(t, 0.3f, &rng, /*training=*/true);
+  double mean = 0;
+  for (float v : out.data()) mean += v;
+  mean /= out.numel();
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(OpsTest, StackRows) {
+  Tensor a = Tensor::FromData(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::FromData(Shape{3}, {4, 5, 6});
+  Tensor m = StackRows({a, b});
+  EXPECT_EQ(m.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(m.at(4), 5.0f);
+}
+
+TEST(OpsTest, RequiresGradPropagates) {
+  Tensor a = Tensor::Ones(Shape{2}, true);
+  Tensor b = Tensor::Ones(Shape{2});
+  EXPECT_TRUE(Add(a, b).requires_grad());
+  EXPECT_FALSE(Add(b, b).requires_grad());
+  EXPECT_TRUE(MatMul(Reshape(a, Shape{1, 2}), Reshape(b, Shape{2, 1})).requires_grad());
+}
+
+}  // namespace
+}  // namespace fewner::tensor

@@ -1,0 +1,200 @@
+// Tests for the text substrate: vocabularies, the BIO scheme, span extraction,
+// F1 counting, and the hash-embedding GloVe stand-in.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/bio.h"
+#include "text/hash_embeddings.h"
+#include "text/vocab.h"
+
+namespace fewner::text {
+namespace {
+
+TEST(VocabTest, ReservedSlots) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.TokenFor(kPadId), "<pad>");
+  EXPECT_EQ(vocab.TokenFor(kUnkId), "<unk>");
+  EXPECT_EQ(vocab.Lookup("anything"), kUnkId);
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab vocab;
+  const int64_t id = vocab.Add("protein");
+  EXPECT_EQ(vocab.Add("protein"), id);
+  EXPECT_EQ(vocab.Lookup("protein"), id);
+  EXPECT_TRUE(vocab.Contains("protein"));
+  EXPECT_EQ(vocab.size(), 3);
+}
+
+TEST(VocabBuilderTest, WordVocabIsLowercasedCharVocabIsCased) {
+  VocabBuilder builder;
+  builder.AddSentence({"Jordan", "plays"});
+  Vocab words = builder.BuildWordVocab();
+  Vocab chars = builder.BuildCharVocab();
+  EXPECT_TRUE(words.Contains("jordan"));
+  EXPECT_FALSE(words.Contains("Jordan"));
+  EXPECT_TRUE(chars.Contains("J"));      // cased character kept
+  EXPECT_FALSE(chars.Contains("j"));     // lowercase form never occurred
+}
+
+TEST(VocabBuilderTest, WordIdAndCharIds) {
+  VocabBuilder builder;
+  builder.AddSentence({"NBA", "star"});
+  Vocab words = builder.BuildWordVocab();
+  Vocab chars = builder.BuildCharVocab();
+  EXPECT_EQ(WordId(words, "NBA"), WordId(words, "nba"));
+  auto ids = CharIds(chars, "NBA");
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[1] == ids[0] ? ids[1] : ids[0]);  // stable lookups
+  EXPECT_EQ(CharIds(chars, "zz")[0], kUnkId);
+}
+
+TEST(BioTest, TagIdScheme) {
+  EXPECT_EQ(NumTags(5), 11);
+  EXPECT_EQ(BeginTag(0), 1);
+  EXPECT_EQ(InsideTag(0), 2);
+  EXPECT_EQ(BeginTag(4), 9);
+  EXPECT_EQ(InsideTag(4), 10);
+  EXPECT_TRUE(IsBeginTag(BeginTag(2)));
+  EXPECT_TRUE(IsInsideTag(InsideTag(2)));
+  EXPECT_FALSE(IsBeginTag(kOutsideTag));
+  EXPECT_EQ(SlotOfTag(BeginTag(3)), 3);
+  EXPECT_EQ(SlotOfTag(InsideTag(3)), 3);
+  EXPECT_EQ(TagName(kOutsideTag), "O");
+  EXPECT_EQ(TagName(BeginTag(1)), "B-1");
+  EXPECT_EQ(TagName(InsideTag(1)), "I-1");
+}
+
+TEST(BioTest, SpansToTagsRoundTrip) {
+  std::vector<Span> spans = {{1, 3, "PER"}, {4, 5, "LOC"}};
+  std::vector<int64_t> slots = {0, 1};
+  auto tags = SpansToTags(spans, slots, 6);
+  EXPECT_EQ(tags, (std::vector<int64_t>{0, 1, 2, 0, 3, 0}));
+
+  auto recovered = TagsToSpans(tags);
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].start, 1);
+  EXPECT_EQ(recovered[0].end, 3);
+  EXPECT_EQ(recovered[0].label, "0");
+  EXPECT_EQ(recovered[1].label, "1");
+}
+
+TEST(BioTest, OutOfEpisodeTypesBecomeO) {
+  std::vector<Span> spans = {{0, 1, "PER"}, {2, 3, "ORG"}};
+  std::vector<int64_t> slots = {0, -1};  // ORG not in this episode
+  auto tags = SpansToTags(spans, slots, 4);
+  EXPECT_EQ(tags, (std::vector<int64_t>{1, 0, 0, 0}));
+}
+
+TEST(BioTest, AdjacentSpansOfSameSlot) {
+  // B-0 I-0 B-0 — two adjacent entities of the same slot stay distinct.
+  auto spans = TagsToSpans({1, 2, 1});
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].end, 2);
+  EXPECT_EQ(spans[1].start, 2);
+}
+
+TEST(BioTest, DanglingInsideStartsSpan) {
+  // conlleval-style recovery: O I-1 I-1 O  -> one span [1, 3).
+  auto spans = TagsToSpans({0, 4, 4, 0});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start, 1);
+  EXPECT_EQ(spans[0].end, 3);
+}
+
+TEST(BioTest, InsideWithSlotSwitchSplits) {
+  // B-0 I-1: the I- of a different slot starts a new span.
+  auto spans = TagsToSpans({1, 4});
+  ASSERT_EQ(spans.size(), 2u);
+}
+
+TEST(BioTest, SpanAtSentenceEnd) {
+  auto spans = TagsToSpans({0, 0, 1, 2});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end, 4);
+}
+
+TEST(BioTest, ValidTagMask) {
+  auto mask = ValidTagMask(3, 11);
+  int64_t valid = 0;
+  for (bool b : mask) valid += b;
+  EXPECT_EQ(valid, 7);  // O + 3*(B,I)
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[6]);
+  EXPECT_FALSE(mask[7]);
+}
+
+TEST(SpanCountsTest, F1Definition) {
+  SpanCounts counts;
+  std::vector<Span> gold = {{0, 1, "0"}, {3, 5, "1"}};
+  std::vector<Span> predicted = {{0, 1, "0"}, {3, 5, "0"}, {6, 7, "1"}};
+  counts.Accumulate(gold, predicted);
+  EXPECT_EQ(counts.gold, 2);
+  EXPECT_EQ(counts.returned, 3);
+  EXPECT_EQ(counts.correct, 1);  // wrong label on [3,5) does not count
+  EXPECT_NEAR(counts.F1(), 2.0 * 1 / (2 + 3), 1e-9);
+  EXPECT_NEAR(counts.Precision(), 1.0 / 3, 1e-9);
+  EXPECT_NEAR(counts.Recall(), 0.5, 1e-9);
+}
+
+TEST(SpanCountsTest, EmptyIsZeroNotNan) {
+  SpanCounts counts;
+  EXPECT_EQ(counts.F1(), 0.0);
+  EXPECT_EQ(counts.Precision(), 0.0);
+  EXPECT_EQ(counts.Recall(), 0.0);
+}
+
+TEST(SpanCountsTest, AccumulatesAcrossSentences) {
+  SpanCounts counts;
+  counts.Accumulate({{0, 1, "0"}}, {{0, 1, "0"}});
+  counts.Accumulate({{2, 3, "1"}}, {});
+  EXPECT_EQ(counts.gold, 2);
+  EXPECT_EQ(counts.returned, 1);
+  EXPECT_EQ(counts.correct, 1);
+}
+
+TEST(HashEmbeddingsTest, DeterministicAndUnitNorm) {
+  HashEmbeddings embeddings(16);
+  auto a = embeddings.VectorFor("kinase");
+  auto b = embeddings.VectorFor("kinase");
+  EXPECT_EQ(a, b);
+  double norm = 0;
+  for (float v : a) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+}
+
+TEST(HashEmbeddingsTest, CaseInsensitive) {
+  HashEmbeddings embeddings(16);
+  EXPECT_EQ(embeddings.VectorFor("Jordan"), embeddings.VectorFor("jordan"));
+}
+
+TEST(HashEmbeddingsTest, PrefixFamilyClustering) {
+  HashEmbeddings embeddings(32);
+  auto cos = [](const std::vector<float>& x, const std::vector<float>& y) {
+    double dot = 0;
+    for (size_t i = 0; i < x.size(); ++i) dot += x[i] * y[i];
+    return dot;  // unit vectors
+  };
+  auto a = embeddings.VectorFor("kinase");
+  auto b = embeddings.VectorFor("kinases");  // shared 4-char prefix
+  auto c = embeddings.VectorFor("senator");  // unrelated
+  EXPECT_GT(cos(a, b), cos(a, c));
+  EXPECT_GT(cos(a, b), 0.2);
+}
+
+TEST(HashEmbeddingsTest, TableForVocab) {
+  Vocab vocab;
+  vocab.Add("alpha");
+  vocab.Add("beta");
+  HashEmbeddings embeddings(8);
+  auto table = embeddings.TableFor(vocab);
+  ASSERT_EQ(table.size(), 4u);
+  for (float v : table[static_cast<size_t>(kPadId)]) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(table[2], embeddings.VectorFor("alpha"));
+}
+
+}  // namespace
+}  // namespace fewner::text
