@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_encoder.dir/ablation_encoder.cc.o"
+  "CMakeFiles/ablation_encoder.dir/ablation_encoder.cc.o.d"
+  "ablation_encoder"
+  "ablation_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_second_order.dir/ablation_second_order.cc.o"
+  "CMakeFiles/ablation_second_order.dir/ablation_second_order.cc.o.d"
+  "ablation_second_order"
+  "ablation_second_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_second_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

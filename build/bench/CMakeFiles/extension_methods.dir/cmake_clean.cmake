@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_methods.dir/extension_methods.cc.o"
+  "CMakeFiles/extension_methods.dir/extension_methods.cc.o.d"
+  "extension_methods"
+  "extension_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_intra_domain.dir/table2_intra_domain.cc.o"
+  "CMakeFiles/table2_intra_domain.dir/table2_intra_domain.cc.o.d"
+  "table2_intra_domain"
+  "table2_intra_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_intra_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

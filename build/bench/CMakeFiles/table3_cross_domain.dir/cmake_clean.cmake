@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cross_domain.dir/table3_cross_domain.cc.o"
+  "CMakeFiles/table3_cross_domain.dir/table3_cross_domain.cc.o.d"
+  "table3_cross_domain"
+  "table3_cross_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cross_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

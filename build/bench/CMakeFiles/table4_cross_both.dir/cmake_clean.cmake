@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cross_both.dir/table4_cross_both.cc.o"
+  "CMakeFiles/table4_cross_both.dir/table4_cross_both.cc.o.d"
+  "table4_cross_both"
+  "table4_cross_both.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cross_both.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

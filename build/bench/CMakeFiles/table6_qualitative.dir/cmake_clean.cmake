@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_qualitative.dir/table6_qualitative.cc.o"
+  "CMakeFiles/table6_qualitative.dir/table6_qualitative.cc.o.d"
+  "table6_qualitative"
+  "table6_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_analysis.dir/timing_analysis.cc.o"
+  "CMakeFiles/timing_analysis.dir/timing_analysis.cc.o.d"
+  "timing_analysis"
+  "timing_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

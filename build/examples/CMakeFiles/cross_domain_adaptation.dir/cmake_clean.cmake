@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_domain_adaptation.dir/cross_domain_adaptation.cpp.o"
+  "CMakeFiles/cross_domain_adaptation.dir/cross_domain_adaptation.cpp.o.d"
+  "cross_domain_adaptation"
+  "cross_domain_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_domain_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

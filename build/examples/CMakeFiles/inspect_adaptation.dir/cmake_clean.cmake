@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_adaptation.dir/inspect_adaptation.cpp.o"
+  "CMakeFiles/inspect_adaptation.dir/inspect_adaptation.cpp.o.d"
+  "inspect_adaptation"
+  "inspect_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

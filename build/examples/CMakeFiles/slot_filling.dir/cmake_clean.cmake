@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_filling.dir/slot_filling.cpp.o"
+  "CMakeFiles/slot_filling.dir/slot_filling.cpp.o.d"
+  "slot_filling"
+  "slot_filling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for slot_filling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_crf.dir/linear_chain_crf.cc.o"
+  "CMakeFiles/fewner_crf.dir/linear_chain_crf.cc.o.d"
+  "libfewner_crf.a"
+  "libfewner_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/conll.cc" "src/data/CMakeFiles/fewner_data.dir/conll.cc.o" "gcc" "src/data/CMakeFiles/fewner_data.dir/conll.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/data/CMakeFiles/fewner_data.dir/datasets.cc.o" "gcc" "src/data/CMakeFiles/fewner_data.dir/datasets.cc.o.d"
+  "/root/repo/src/data/episode_sampler.cc" "src/data/CMakeFiles/fewner_data.dir/episode_sampler.cc.o" "gcc" "src/data/CMakeFiles/fewner_data.dir/episode_sampler.cc.o.d"
+  "/root/repo/src/data/slot_filling.cc" "src/data/CMakeFiles/fewner_data.dir/slot_filling.cc.o" "gcc" "src/data/CMakeFiles/fewner_data.dir/slot_filling.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/fewner_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/fewner_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/fewner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fewner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_data.dir/conll.cc.o"
+  "CMakeFiles/fewner_data.dir/conll.cc.o.d"
+  "CMakeFiles/fewner_data.dir/datasets.cc.o"
+  "CMakeFiles/fewner_data.dir/datasets.cc.o.d"
+  "CMakeFiles/fewner_data.dir/episode_sampler.cc.o"
+  "CMakeFiles/fewner_data.dir/episode_sampler.cc.o.d"
+  "CMakeFiles/fewner_data.dir/slot_filling.cc.o"
+  "CMakeFiles/fewner_data.dir/slot_filling.cc.o.d"
+  "CMakeFiles/fewner_data.dir/synthetic.cc.o"
+  "CMakeFiles/fewner_data.dir/synthetic.cc.o.d"
+  "libfewner_data.a"
+  "libfewner_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

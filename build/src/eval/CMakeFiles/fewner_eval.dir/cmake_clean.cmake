@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_eval.dir/error_analysis.cc.o"
+  "CMakeFiles/fewner_eval.dir/error_analysis.cc.o.d"
+  "CMakeFiles/fewner_eval.dir/evaluator.cc.o"
+  "CMakeFiles/fewner_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/fewner_eval.dir/experiment.cc.o"
+  "CMakeFiles/fewner_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/fewner_eval.dir/model_selection.cc.o"
+  "CMakeFiles/fewner_eval.dir/model_selection.cc.o.d"
+  "CMakeFiles/fewner_eval.dir/per_type.cc.o"
+  "CMakeFiles/fewner_eval.dir/per_type.cc.o.d"
+  "CMakeFiles/fewner_eval.dir/reporting.cc.o"
+  "CMakeFiles/fewner_eval.dir/reporting.cc.o.d"
+  "CMakeFiles/fewner_eval.dir/statistics.cc.o"
+  "CMakeFiles/fewner_eval.dir/statistics.cc.o.d"
+  "libfewner_eval.a"
+  "libfewner_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/fewner.cc" "src/meta/CMakeFiles/fewner_meta.dir/fewner.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/fewner.cc.o.d"
+  "/root/repo/src/meta/finetune.cc" "src/meta/CMakeFiles/fewner_meta.dir/finetune.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/finetune.cc.o.d"
+  "/root/repo/src/meta/lm_tagger.cc" "src/meta/CMakeFiles/fewner_meta.dir/lm_tagger.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/lm_tagger.cc.o.d"
+  "/root/repo/src/meta/maml.cc" "src/meta/CMakeFiles/fewner_meta.dir/maml.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/maml.cc.o.d"
+  "/root/repo/src/meta/matching_net.cc" "src/meta/CMakeFiles/fewner_meta.dir/matching_net.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/matching_net.cc.o.d"
+  "/root/repo/src/meta/protonet.cc" "src/meta/CMakeFiles/fewner_meta.dir/protonet.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/protonet.cc.o.d"
+  "/root/repo/src/meta/reptile.cc" "src/meta/CMakeFiles/fewner_meta.dir/reptile.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/reptile.cc.o.d"
+  "/root/repo/src/meta/snail.cc" "src/meta/CMakeFiles/fewner_meta.dir/snail.cc.o" "gcc" "src/meta/CMakeFiles/fewner_meta.dir/snail.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/fewner_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/fewner_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fewner_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fewner_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fewner_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fewner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fewner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_meta.dir/fewner.cc.o"
+  "CMakeFiles/fewner_meta.dir/fewner.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/finetune.cc.o"
+  "CMakeFiles/fewner_meta.dir/finetune.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/lm_tagger.cc.o"
+  "CMakeFiles/fewner_meta.dir/lm_tagger.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/maml.cc.o"
+  "CMakeFiles/fewner_meta.dir/maml.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/matching_net.cc.o"
+  "CMakeFiles/fewner_meta.dir/matching_net.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/protonet.cc.o"
+  "CMakeFiles/fewner_meta.dir/protonet.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/reptile.cc.o"
+  "CMakeFiles/fewner_meta.dir/reptile.cc.o.d"
+  "CMakeFiles/fewner_meta.dir/snail.cc.o"
+  "CMakeFiles/fewner_meta.dir/snail.cc.o.d"
+  "libfewner_meta.a"
+  "libfewner_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

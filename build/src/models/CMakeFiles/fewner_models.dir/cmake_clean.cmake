@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_models.dir/backbone.cc.o"
+  "CMakeFiles/fewner_models.dir/backbone.cc.o.d"
+  "CMakeFiles/fewner_models.dir/encoding.cc.o"
+  "CMakeFiles/fewner_models.dir/encoding.cc.o.d"
+  "CMakeFiles/fewner_models.dir/lm_encoder.cc.o"
+  "CMakeFiles/fewner_models.dir/lm_encoder.cc.o.d"
+  "libfewner_models.a"
+  "libfewner_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

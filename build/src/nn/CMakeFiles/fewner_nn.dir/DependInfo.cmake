@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/fewner_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/char_cnn.cc" "src/nn/CMakeFiles/fewner_nn.dir/char_cnn.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/char_cnn.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/fewner_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/fewner_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/fewner_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/fewner_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/fewner_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/fewner_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/fewner_nn.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fewner_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fewner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_nn.dir/attention.cc.o"
+  "CMakeFiles/fewner_nn.dir/attention.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/char_cnn.cc.o"
+  "CMakeFiles/fewner_nn.dir/char_cnn.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/gru.cc.o"
+  "CMakeFiles/fewner_nn.dir/gru.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/layers.cc.o"
+  "CMakeFiles/fewner_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/lstm.cc.o"
+  "CMakeFiles/fewner_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/module.cc.o"
+  "CMakeFiles/fewner_nn.dir/module.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/optim.cc.o"
+  "CMakeFiles/fewner_nn.dir/optim.cc.o.d"
+  "CMakeFiles/fewner_nn.dir/serialization.cc.o"
+  "CMakeFiles/fewner_nn.dir/serialization.cc.o.d"
+  "libfewner_nn.a"
+  "libfewner_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

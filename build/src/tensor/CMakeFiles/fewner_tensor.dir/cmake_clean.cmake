@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_tensor.dir/autodiff.cc.o"
+  "CMakeFiles/fewner_tensor.dir/autodiff.cc.o.d"
+  "CMakeFiles/fewner_tensor.dir/ops.cc.o"
+  "CMakeFiles/fewner_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/fewner_tensor.dir/shape.cc.o"
+  "CMakeFiles/fewner_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/fewner_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fewner_tensor.dir/tensor.cc.o.d"
+  "libfewner_tensor.a"
+  "libfewner_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

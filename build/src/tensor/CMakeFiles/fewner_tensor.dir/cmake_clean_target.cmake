@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfewner_tensor.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bio.cc" "src/text/CMakeFiles/fewner_text.dir/bio.cc.o" "gcc" "src/text/CMakeFiles/fewner_text.dir/bio.cc.o.d"
+  "/root/repo/src/text/hash_embeddings.cc" "src/text/CMakeFiles/fewner_text.dir/hash_embeddings.cc.o" "gcc" "src/text/CMakeFiles/fewner_text.dir/hash_embeddings.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/fewner_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/fewner_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fewner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

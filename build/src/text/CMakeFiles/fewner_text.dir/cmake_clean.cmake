@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_text.dir/bio.cc.o"
+  "CMakeFiles/fewner_text.dir/bio.cc.o.d"
+  "CMakeFiles/fewner_text.dir/hash_embeddings.cc.o"
+  "CMakeFiles/fewner_text.dir/hash_embeddings.cc.o.d"
+  "CMakeFiles/fewner_text.dir/vocab.cc.o"
+  "CMakeFiles/fewner_text.dir/vocab.cc.o.d"
+  "libfewner_text.a"
+  "libfewner_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewner_util.dir/flags.cc.o"
+  "CMakeFiles/fewner_util.dir/flags.cc.o.d"
+  "CMakeFiles/fewner_util.dir/logging.cc.o"
+  "CMakeFiles/fewner_util.dir/logging.cc.o.d"
+  "CMakeFiles/fewner_util.dir/rng.cc.o"
+  "CMakeFiles/fewner_util.dir/rng.cc.o.d"
+  "CMakeFiles/fewner_util.dir/status.cc.o"
+  "CMakeFiles/fewner_util.dir/status.cc.o.d"
+  "CMakeFiles/fewner_util.dir/string_util.cc.o"
+  "CMakeFiles/fewner_util.dir/string_util.cc.o.d"
+  "libfewner_util.a"
+  "libfewner_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewner_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

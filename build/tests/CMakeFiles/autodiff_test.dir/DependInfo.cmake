@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff_test.cc" "tests/CMakeFiles/autodiff_test.dir/autodiff_test.cc.o" "gcc" "tests/CMakeFiles/autodiff_test.dir/autodiff_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/fewner_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/fewner_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fewner_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/crf/CMakeFiles/fewner_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fewner_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fewner_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fewner_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fewner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fewner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
