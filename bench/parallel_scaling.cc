@@ -1,0 +1,137 @@
+// Meta-batch throughput scaling of the episode-parallel trainer.
+//
+// Trains the same FEWNER model at several worker counts (see meta/parallel.h)
+// and reports tasks/second plus speedup over the serial run.  Because the
+// parallel reduction is deterministic, every run must also end at bit-identical
+// parameters — the bench verifies that too, so a scaling number can never be
+// bought with a correctness regression.
+//
+//   ./parallel_scaling --threads 1,2,4,8 --iterations 8 --meta-batch 8
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "meta/fewner.h"
+#include "text/bio.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fewner {
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  std::vector<std::vector<float>> params;
+};
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddString("threads", "1,2,4,8", "comma list of worker counts to time");
+  flags.AddInt("iterations", 8, "outer-loop iterations per run");
+  flags.AddInt("meta-batch", 8, "tasks per outer iteration (paper: 8)");
+  flags.AddInt("sentences", 400, "synthetic corpus size");
+  flags.AddInt("hidden-dim", 16, "backbone hidden dimension");
+  flags.AddInt("seed", 42, "global seed");
+  flags.AddBool("verbose", false, "log training progress");
+  util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+  if (!flags.GetBool("verbose")) util::SetLogLevel(util::LogLevel::kWarning);
+
+  data::SyntheticSpec spec;
+  spec.name = "scaling";
+  spec.genre = "newswire";
+  spec.num_types = 8;
+  spec.num_sentences = flags.GetInt("sentences");
+  spec.mentions_per_sentence = 2.0;
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  data::Corpus corpus = data::GenerateCorpus(spec);
+
+  text::VocabBuilder builder;
+  for (const auto& sentence : corpus.sentences) builder.AddSentence(sentence.tokens);
+  text::Vocab words = builder.BuildWordVocab();
+  text::Vocab chars = builder.BuildCharVocab();
+
+  models::BackboneConfig config;
+  config.word_vocab_size = words.size();
+  config.char_vocab_size = chars.size();
+  config.word_dim = 16;
+  config.char_dim = 8;
+  config.filters_per_width = 6;
+  config.hidden_dim = flags.GetInt("hidden-dim");
+  config.max_tags = text::NumTags(3);
+  config.context_dim = 8;
+  config.dropout = 0.1f;
+
+  models::EpisodeEncoder encoder(&words, &chars, config.max_tags);
+  data::EpisodeSampler sampler(&corpus, corpus.entity_types, 3, 1, 4,
+                               spec.seed ^ 0x5CA11ull);
+
+  meta::TrainConfig train;
+  train.iterations = flags.GetInt("iterations");
+  train.meta_batch = flags.GetInt("meta-batch");
+  train.verbose = flags.GetBool("verbose");
+  const int64_t tasks = train.iterations * train.meta_batch;
+
+  std::vector<RunResult> results;
+  std::vector<int64_t> thread_counts;
+  for (const std::string& s : util::Split(flags.GetString("threads"), ',')) {
+    char* end = nullptr;
+    const long long value = std::strtoll(s.c_str(), &end, 10);
+    if (s.empty() || *end != '\0' || value < 1) {
+      std::cerr << "invalid --threads entry '" << s
+                << "' (expected a comma list of positive integers)\n";
+      return 1;
+    }
+    thread_counts.push_back(value);
+  }
+  if (thread_counts.empty()) {
+    std::cerr << "--threads is empty\n";
+    return 1;
+  }
+
+  std::cout << "threads    seconds    tasks/s    speedup    parity\n";
+  for (int64_t threads : thread_counts) {
+    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+    meta::Fewner fewner(config, &rng);
+    meta::TrainConfig run = train;
+    run.num_threads = threads;
+
+    const auto start = std::chrono::steady_clock::now();
+    fewner.Train(sampler, encoder, run);
+    const auto end = std::chrono::steady_clock::now();
+
+    RunResult result;
+    result.seconds = std::chrono::duration<double>(end - start).count();
+    result.params = nn::SnapshotParameterValues(fewner.backbone());
+
+    const bool parity = results.empty() || result.params == results.front().params;
+    const double speedup =
+        results.empty() ? 1.0 : results.front().seconds / result.seconds;
+    std::printf("%7lld %10.3f %10.1f %9.2fx %9s\n",
+                static_cast<long long>(threads), result.seconds,
+                static_cast<double>(tasks) / result.seconds, speedup,
+                parity ? "exact" : "MISMATCH");
+    if (!parity) {
+      std::cerr << "ERROR: " << threads
+                << "-thread run diverged from the serial parameters\n";
+      return 1;
+    }
+    results.push_back(std::move(result));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fewner
+
+int main(int argc, char** argv) { return fewner::Main(argc, argv); }

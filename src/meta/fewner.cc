@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
 
 #include "tensor/autodiff.h"
 #include "tensor/ops.h"
@@ -24,10 +25,18 @@ Fewner::Fewner(const models::BackboneConfig& config, util::Rng* rng)
 Tensor Fewner::AdaptContext(const std::vector<models::EncodedSentence>& support,
                             const std::vector<bool>& valid_tags, int64_t steps,
                             float inner_lr, bool create_graph) const {
+  return AdaptContextOn(*backbone_, support, valid_tags, steps, inner_lr,
+                        create_graph);
+}
+
+Tensor Fewner::AdaptContextOn(const models::Backbone& net,
+                              const std::vector<models::EncodedSentence>& support,
+                              const std::vector<bool>& valid_tags, int64_t steps,
+                              float inner_lr, bool create_graph) {
   // φ starts at zero for every task (paper §3.2.4).
-  Tensor phi = backbone_->ZeroContext();
+  Tensor phi = net.ZeroContext();
   for (int64_t k = 0; k < steps; ++k) {
-    Tensor loss = backbone_->BatchLoss(support, phi, valid_tags);
+    Tensor loss = net.BatchLoss(support, phi, valid_tags);
     // Eq. 5: gradient w.r.t. the previous φ only — θ stays fixed here, but
     // with create_graph the inner gradient keeps its dependence on θ, which
     // is what the outer update differentiates through.
@@ -59,33 +68,34 @@ void Fewner::Train(const data::EpisodeSampler& sampler,
   nn::Adam optimizer(slots, config.meta_lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
   int64_t tasks_seen = 0;
-  uint64_t episode_id = 0;
 
+  ParallelMetaBatch batch = BackboneMetaBatch(config.num_threads, backbone_.get());
   const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
   for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
     GradAccumulator accumulator(params);
-    double loss_sum = 0.0;
-    for (int64_t b = 0; b < config.meta_batch; ++b) {
-      data::Episode episode = sampler.Sample(episode_id++);
-      // Bound training cost: use a few query sentences per task.
-      BoundTrainingEpisode(config, &episode);
-      FEWNER_CHECK(!episode.support.empty() && !episode.query.empty(),
-                   "degenerate training episode");
-      models::EncodedEpisode enc = encoder.Encode(episode);
-
-      Tensor phi = AdaptContext(enc.support, enc.valid_tags,
-                                config.inner_steps_train, config.inner_lr,
-                                /*create_graph=*/!config.first_order);
-      // Eq. 6: meta-gradient through the inner updates (second order).  Each
-      // task backpropagates separately; summed gradients equal the gradient of
-      // the summed loss, at a fraction of the peak memory.
-      Tensor query_loss = backbone_->BatchLoss(enc.query, phi, enc.valid_tags);
-      accumulator.Add(tensor::autodiff::Grad(query_loss, params));
-      loss_sum += query_loss.item();
-      ++tasks_seen;
-    }
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* net = static_cast<models::Backbone*>(model);
+          const uint64_t episode_id = base + static_cast<uint64_t>(t);
+          models::EncodedEpisode enc =
+              PrepareTrainingTask(sampler, encoder, config, episode_id, net);
+          Tensor phi = AdaptContextOn(*net, enc.support, enc.valid_tags,
+                                      config.inner_steps_train, config.inner_lr,
+                                      /*create_graph=*/!config.first_order);
+          // Eq. 6: meta-gradient through the inner updates (second order).
+          // Each task backpropagates separately; summed gradients equal the
+          // gradient of the summed loss, at a fraction of the peak memory.
+          Tensor query_loss = net->BatchLoss(enc.query, phi, enc.valid_tags);
+          *grads =
+              tensor::autodiff::Grad(query_loss, nn::ParameterTensors(net));
+          return query_loss.item();
+        },
+        &accumulator);
+    tasks_seen += config.meta_batch;
     std::vector<Tensor> grads =
-        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
     nn::ClipGradNorm(&grads, config.grad_clip);
     optimizer.Step(grads);
     if (tasks_seen / config.lr_decay_every !=

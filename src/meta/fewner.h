@@ -41,6 +41,14 @@ class Fewner : public FewShotMethod {
                               const std::vector<bool>& valid_tags, int64_t steps,
                               float inner_lr, bool create_graph) const;
 
+  /// Same inner loop against an explicit backbone — the form the
+  /// episode-parallel trainer runs on per-worker replicas.
+  static tensor::Tensor AdaptContextOn(
+      const models::Backbone& net,
+      const std::vector<models::EncodedSentence>& support,
+      const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
+      bool create_graph);
+
   models::Backbone* backbone() { return backbone_.get(); }
 
   /// Inner steps used at test time; taken from the last Train() config, or the

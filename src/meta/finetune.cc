@@ -1,5 +1,8 @@
 #include "meta/finetune.h"
 
+#include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
+
 #include "nn/optim.h"
 #include "tensor/autodiff.h"
 #include "tensor/ops.h"
@@ -25,21 +28,33 @@ void FineTune::Train(const data::EpisodeSampler& sampler,
   backbone_->SetTraining(true);
   nn::Adam optimizer(backbone_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
-  uint64_t episode_id = 0;
   // Conventional supervised training: each training task's support set is one
-  // mini-batch; no inner/outer split, no query usage.
-  const int64_t updates = config.iterations * config.meta_batch;
-  for (int64_t step = 0; step < updates; ++step) {
-    data::Episode episode = sampler.Sample(episode_id++);
-    BoundTrainingEpisode(config, &episode);
-    models::EncodedEpisode enc = encoder.Encode(episode);
-    Tensor loss = backbone_->BatchLoss(enc.support, Tensor(), enc.valid_tags);
+  // mini-batch element; a meta-batch of support losses is averaged into one
+  // update (no inner/outer split, no query usage).
+  ParallelMetaBatch batch = BackboneMetaBatch(config.num_threads, backbone_.get());
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
+    GradAccumulator accumulator(params);
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* net = static_cast<models::Backbone*>(model);
+          models::EncodedEpisode enc = PrepareTrainingTask(
+              sampler, encoder, config, base + static_cast<uint64_t>(t), net);
+          Tensor loss = net->BatchLoss(enc.support, Tensor(), enc.valid_tags);
+          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+          return loss.item();
+        },
+        &accumulator);
     std::vector<Tensor> grads =
-        tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
     nn::ClipGradNorm(&grads, config.grad_clip);
     optimizer.Step(grads);
-    if (config.verbose && step % 50 == 0) {
-      FEWNER_LOG(INFO) << name() << " step " << step << " loss " << loss.item();
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
     }
   }
   backbone_->SetTraining(false);

@@ -6,6 +6,13 @@
 // Since the meta-objective is a mean of per-task losses, backpropagating each
 // task separately and summing raw gradient values is mathematically identical
 // and bounds peak memory by a single task's graph.
+//
+// Accumulation is in double precision: float buffers would make the summed
+// gradient depend on the rounding of every intermediate partial sum, while
+// doubles absorb each float-valued task gradient exactly enough that the sum
+// of a meta-batch is bit-identical however the per-task grads were produced.
+// Together with a fixed Add() order this is what lets the episode-parallel
+// trainer (see parallel.h) promise bitwise equality with the serial path.
 
 #pragma once
 
@@ -16,45 +23,62 @@
 
 namespace fewner::meta {
 
-/// Accumulates detached per-task gradients into a flat float buffer.
+/// Accumulates detached per-task gradients into flat double buffers.
+/// Single-writer: callers that produce gradients concurrently must serialize
+/// Add() calls (in a fixed task order, for determinism).
 class GradAccumulator {
  public:
   explicit GradAccumulator(const std::vector<tensor::Tensor>& params) {
     buffers_.reserve(params.size());
     shapes_.reserve(params.size());
     for (const auto& p : params) {
-      buffers_.emplace_back(p.data().size(), 0.0f);
+      buffers_.emplace_back(p.data().size(), 0.0);
       shapes_.push_back(p.shape());
     }
   }
 
   /// Adds one task's gradients (same layout as the constructor params).
   void Add(const std::vector<tensor::Tensor>& grads) {
+    FEWNER_CHECK(!finished_, "GradAccumulator::Add after Finish()");
     FEWNER_CHECK(grads.size() == buffers_.size(), "GradAccumulator layout mismatch");
     for (size_t i = 0; i < grads.size(); ++i) {
       const auto& g = grads[i].data();
       FEWNER_CHECK(g.size() == buffers_[i].size(),
                    "GradAccumulator size mismatch at slot " << i);
-      for (size_t j = 0; j < g.size(); ++j) buffers_[i][j] += g[j];
+      for (size_t j = 0; j < g.size(); ++j) {
+        buffers_[i][j] += static_cast<double>(g[j]);
+      }
     }
   }
 
-  /// Materializes the accumulated (optionally scaled) gradients as tensors.
-  std::vector<tensor::Tensor> Finish(float scale) {
+  /// Materializes the accumulated gradients as tensors, scaled by `scale` in
+  /// double precision and rounded to float once, at the very end.  The
+  /// accumulator is consumed: further Add()/Finish() calls abort.
+  std::vector<tensor::Tensor> Finish(double scale) {
+    FEWNER_CHECK(!finished_, "GradAccumulator::Finish called twice");
+    finished_ = true;
     std::vector<tensor::Tensor> out;
     out.reserve(buffers_.size());
     for (size_t i = 0; i < buffers_.size(); ++i) {
-      std::vector<float> values = std::move(buffers_[i]);
-      for (float& v : values) v *= scale;
+      std::vector<float> values(buffers_[i].size());
+      for (size_t j = 0; j < values.size(); ++j) {
+        values[j] = static_cast<float>(buffers_[i][j] * scale);
+      }
       out.push_back(tensor::Tensor::FromData(shapes_[i], std::move(values)));
     }
-    buffers_.clear();
     return out;
   }
 
+  /// Read-only view of the double buffers; the serial-vs-parallel parity tests
+  /// compare these bitwise before any scaling.
+  const std::vector<std::vector<double>>& buffers() const { return buffers_; }
+
+  bool finished() const { return finished_; }
+
  private:
-  std::vector<std::vector<float>> buffers_;
+  std::vector<std::vector<double>> buffers_;
   std::vector<tensor::Shape> shapes_;
+  bool finished_ = false;
 };
 
 }  // namespace fewner::meta

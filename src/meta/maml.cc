@@ -1,8 +1,9 @@
 #include "meta/maml.h"
 
-#include "meta/grad_accumulator.h"
-
 #include <cmath>
+
+#include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
 
 #include "nn/optim.h"
 #include "tensor/autodiff.h"
@@ -35,13 +36,21 @@ std::vector<Tensor> Maml::InnerAdapt(
     const std::vector<models::EncodedSentence>& support,
     const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
     bool create_graph) const {
-  std::vector<Tensor*> slots = backbone_->Parameters();
-  std::vector<Tensor> current = nn::ParameterTensors(backbone_.get());
+  return InnerAdaptOn(backbone_.get(), support, valid_tags, steps, inner_lr,
+                      create_graph);
+}
+
+std::vector<Tensor> Maml::InnerAdaptOn(
+    models::Backbone* net, const std::vector<models::EncodedSentence>& support,
+    const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
+    bool create_graph) {
+  std::vector<Tensor*> slots = net->Parameters();
+  std::vector<Tensor> current = nn::ParameterTensors(net);
   for (int64_t k = 0; k < steps; ++k) {
     Tensor loss;
     {
       nn::ParameterPatch patch(slots, current);
-      loss = backbone_->BatchLoss(support, Tensor(), valid_tags);
+      loss = net->BatchLoss(support, Tensor(), valid_tags);
     }
     std::vector<Tensor> grads = tensor::autodiff::Grad(loss, current, create_graph);
     // Full-network inner steps on the paper's summed task loss are large;
@@ -83,37 +92,42 @@ void Maml::Train(const data::EpisodeSampler& sampler,
   nn::Adam optimizer(slots, config.meta_lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
   int64_t tasks_seen = 0;
-  uint64_t episode_id = 0;
 
+  ParallelMetaBatch batch = BackboneMetaBatch(config.num_threads, backbone_.get());
   const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
   for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
     GradAccumulator accumulator(params);
-    double loss_sum = 0.0;
-    for (int64_t b = 0; b < config.meta_batch; ++b) {
-      data::Episode episode = sampler.Sample(episode_id++);
-      BoundTrainingEpisode(config, &episode);
-      models::EncodedEpisode enc = encoder.Encode(episode);
-
-      std::vector<Tensor> adapted =
-          InnerAdapt(enc.support, enc.valid_tags, config.inner_steps_train,
-                     config.inner_lr, /*create_graph=*/!config.first_order);
-      Tensor query_loss;
-      {
-        nn::ParameterPatch patch(slots, adapted);
-        query_loss = backbone_->BatchLoss(enc.query, Tensor(), enc.valid_tags);
-      }
-      // Eq. 3: meta-gradient w.r.t. the original parameters, flowing through
-      // the full-network inner updates; per-task backward bounds peak memory.
-      // In first-order mode the inner updates are detached, so the FOMAML
-      // gradient is taken at the adapted parameters and applied to the
-      // originals (identical layouts).
-      accumulator.Add(tensor::autodiff::Grad(
-          query_loss, config.first_order ? adapted : params));
-      loss_sum += query_loss.item();
-      ++tasks_seen;
-    }
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* net = static_cast<models::Backbone*>(model);
+          const uint64_t episode_id = base + static_cast<uint64_t>(t);
+          models::EncodedEpisode enc =
+              PrepareTrainingTask(sampler, encoder, config, episode_id, net);
+          std::vector<Tensor> base_params = nn::ParameterTensors(net);
+          std::vector<Tensor> adapted =
+              InnerAdaptOn(net, enc.support, enc.valid_tags,
+                           config.inner_steps_train, config.inner_lr,
+                           /*create_graph=*/!config.first_order);
+          Tensor query_loss;
+          {
+            nn::ParameterPatch patch(net->Parameters(), adapted);
+            query_loss = net->BatchLoss(enc.query, Tensor(), enc.valid_tags);
+          }
+          // Eq. 3: meta-gradient w.r.t. the original parameters, flowing
+          // through the full-network inner updates; per-task backward bounds
+          // peak memory.  In first-order mode the inner updates are detached,
+          // so the FOMAML gradient is taken at the adapted parameters and
+          // applied to the originals (identical layouts).
+          *grads = tensor::autodiff::Grad(
+              query_loss, config.first_order ? adapted : base_params);
+          return query_loss.item();
+        },
+        &accumulator);
+    tasks_seen += config.meta_batch;
     std::vector<Tensor> grads =
-        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
     nn::ClipGradNorm(&grads, config.grad_clip);
     optimizer.Step(grads);
     if (tasks_seen / config.lr_decay_every !=

@@ -37,6 +37,14 @@ class Maml : public FewShotMethod {
       const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
       bool create_graph) const;
 
+  /// Same inner loop against an explicit backbone — the form the
+  /// episode-parallel trainer runs on per-worker replicas (the ParameterPatch
+  /// slot swaps stay confined to that replica).
+  static std::vector<tensor::Tensor> InnerAdaptOn(
+      models::Backbone* net, const std::vector<models::EncodedSentence>& support,
+      const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
+      bool create_graph);
+
   models::Backbone* backbone() { return backbone_.get(); }
 
  private:

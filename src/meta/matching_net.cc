@@ -1,6 +1,7 @@
 #include "meta/matching_net.h"
 
 #include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
 #include "nn/optim.h"
 #include "tensor/autodiff.h"
 #include "tensor/ops.h"
@@ -19,30 +20,32 @@ MatchingNet::MatchingNet(const models::BackboneConfig& config, util::Rng* rng) {
   backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
 }
 
-Tensor MatchingNet::NormalizedFeatures(
-    const models::EncodedSentence& sentence) const {
-  Tensor features = backbone_->Encode(sentence, Tensor());  // [L, D]
+Tensor MatchingNet::NormalizedFeatures(const models::Backbone& net,
+                                       const models::EncodedSentence& sentence) {
+  Tensor features = net.Encode(sentence, Tensor());  // [L, D]
   Tensor norm = tensor::Sqrt(tensor::AddScalar(
       tensor::SumAxis(tensor::Square(features), 1, /*keepdim=*/true), 1e-8f));
   return tensor::Div(features, norm);
 }
 
-Tensor MatchingNet::QueryLogProbs(const models::EncodedSentence& sentence,
+Tensor MatchingNet::QueryLogProbs(const models::Backbone& net,
+                                  const models::EncodedSentence& sentence,
                                   const Tensor& support_features,
                                   const Tensor& support_labels) const {
-  Tensor queries = NormalizedFeatures(sentence);  // [L, D]
+  Tensor queries = NormalizedFeatures(net, sentence);  // [L, D]
   Tensor cosine = tensor::MatMul(queries, tensor::Transpose(support_features));
   Tensor attention = tensor::SoftmaxLastDim(tensor::MulScalar(cosine, temperature_));
   Tensor votes = tensor::MatMul(attention, support_labels);  // rows sum to 1
   return tensor::Log(tensor::AddScalar(votes, 1e-6f));
 }
 
-Tensor MatchingNet::EpisodeLoss(const models::EncodedEpisode& episode) const {
-  const int64_t num_classes = backbone_->config().max_tags;
+Tensor MatchingNet::EpisodeLoss(const models::Backbone& net,
+                                const models::EncodedEpisode& episode) const {
+  const int64_t num_classes = net.config().max_tags;
   std::vector<Tensor> feature_blocks;
   std::vector<int64_t> tags;
   for (const auto& sentence : episode.support) {
-    feature_blocks.push_back(NormalizedFeatures(sentence));
+    feature_blocks.push_back(NormalizedFeatures(net, sentence));
     tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
   }
   Tensor support_features = tensor::Concat(feature_blocks, 0);
@@ -58,7 +61,7 @@ Tensor MatchingNet::EpisodeLoss(const models::EncodedEpisode& episode) const {
   Tensor loss_total;
   int64_t tokens = 0;
   for (const auto& sentence : episode.query) {
-    Tensor logp = QueryLogProbs(sentence, support_features, support_labels);
+    Tensor logp = QueryLogProbs(net, sentence, support_features, support_labels);
     const int64_t length = sentence.length();
     std::vector<float> select(static_cast<size_t>(length * num_classes), 0.0f);
     for (int64_t t = 0; t < length; ++t) {
@@ -81,21 +84,24 @@ void MatchingNet::Train(const data::EpisodeSampler& sampler,
   backbone_->SetTraining(true);
   nn::Adam optimizer(backbone_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
-  uint64_t episode_id = 0;
+  ParallelMetaBatch batch = BackboneMetaBatch(config.num_threads, backbone_.get());
   const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
   for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
     GradAccumulator accumulator(params);
-    double loss_sum = 0.0;
-    for (int64_t b = 0; b < config.meta_batch; ++b) {
-      data::Episode episode = sampler.Sample(episode_id++);
-      BoundTrainingEpisode(config, &episode);
-      models::EncodedEpisode enc = encoder.Encode(episode);
-      Tensor loss = EpisodeLoss(enc);
-      accumulator.Add(tensor::autodiff::Grad(loss, params));
-      loss_sum += loss.item();
-    }
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* net = static_cast<models::Backbone*>(model);
+          models::EncodedEpisode enc = PrepareTrainingTask(
+              sampler, encoder, config, base + static_cast<uint64_t>(t), net);
+          Tensor loss = EpisodeLoss(*net, enc);
+          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+          return loss.item();
+        },
+        &accumulator);
     std::vector<Tensor> grads =
-        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
     nn::ClipGradNorm(&grads, config.grad_clip);
     optimizer.Step(grads);
     MaybeInvokeCallback(config, it);
@@ -114,7 +120,7 @@ std::vector<std::vector<int64_t>> MatchingNet::AdaptAndPredict(
   std::vector<Tensor> feature_blocks;
   std::vector<int64_t> tags;
   for (const auto& sentence : episode.support) {
-    feature_blocks.push_back(NormalizedFeatures(sentence));
+    feature_blocks.push_back(NormalizedFeatures(*backbone_, sentence));
     tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
   }
   Tensor support_features = tensor::Concat(feature_blocks, 0);
@@ -130,10 +136,11 @@ std::vector<std::vector<int64_t>> MatchingNet::AdaptAndPredict(
   std::vector<std::vector<int64_t>> predictions;
   predictions.reserve(episode.query.size());
   for (const auto& sentence : episode.query) {
-    Tensor logp = QueryLogProbs(sentence, support_features, support_labels);
+    Tensor logp =
+        QueryLogProbs(*backbone_, sentence, support_features, support_labels);
     const auto& values = logp.data();
     const int64_t length = sentence.length();
-    std::vector<int64_t> decoded(static_cast<size_t>(length));
+    std::vector<int64_t> best_tags(static_cast<size_t>(length));
     for (int64_t t = 0; t < length; ++t) {
       int64_t best = 0;
       float best_v = values[static_cast<size_t>(t * num_classes)];
@@ -144,9 +151,9 @@ std::vector<std::vector<int64_t>> MatchingNet::AdaptAndPredict(
           best = c;
         }
       }
-      decoded[static_cast<size_t>(t)] = best;
+      best_tags[static_cast<size_t>(t)] = best;
     }
-    predictions.push_back(std::move(decoded));
+    predictions.push_back(std::move(best_tags));
   }
   return predictions;
 }

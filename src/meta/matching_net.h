@@ -30,16 +30,24 @@ class MatchingNet : public FewShotMethod {
   std::vector<std::vector<int64_t>> AdaptAndPredict(
       const models::EncodedEpisode& episode) override;
 
+  models::Backbone* backbone() { return backbone_.get(); }
+
  private:
+  // The forward helpers take the backbone explicitly so the episode-parallel
+  // trainer can run them against per-worker replicas.
+
   /// L2-normalized encoder features for one sentence, [L, D].
-  tensor::Tensor NormalizedFeatures(const models::EncodedSentence& sentence) const;
+  static tensor::Tensor NormalizedFeatures(const models::Backbone& net,
+                                           const models::EncodedSentence& sentence);
 
   /// Log label distribution [L, max_tags] for a query sentence.
-  tensor::Tensor QueryLogProbs(const models::EncodedSentence& sentence,
+  tensor::Tensor QueryLogProbs(const models::Backbone& net,
+                               const models::EncodedSentence& sentence,
                                const tensor::Tensor& support_features,
                                const tensor::Tensor& support_labels) const;
 
-  tensor::Tensor EpisodeLoss(const models::EncodedEpisode& episode) const;
+  tensor::Tensor EpisodeLoss(const models::Backbone& net,
+                             const models::EncodedEpisode& episode) const;
 
   std::unique_ptr<models::Backbone> backbone_;
   float temperature_ = 10.0f;  ///< sharpness of the cosine attention

@@ -38,6 +38,12 @@ struct TrainConfig {
   /// (FOMAML-style).  The paper's methods use exact second-order gradients;
   /// this switch exists for the design-choice ablation bench.
   bool first_order = false;
+  /// Worker threads for episode-parallel meta-batch training.  Each task of a
+  /// meta-batch runs on its own model replica with a thread-isolated autodiff
+  /// graph; gradients reduce in fixed task order into double buffers, so the
+  /// result is bit-identical for any thread count (see meta/parallel.h).
+  /// 0 = resolve from the FEWNER_THREADS environment variable (default 1).
+  int64_t num_threads = 0;
   bool verbose = false;           ///< log outer-loop losses
 
   /// Optional hook invoked after every `callback_every` outer iterations (and

@@ -1,0 +1,116 @@
+#include "meta/parallel.h"
+
+#include <atomic>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fewner::meta {
+
+ParallelMetaBatch::ParallelMetaBatch(int64_t num_threads, ReplicaFactory factory,
+                                     ReplicaSync sync)
+    : num_threads_(ResolveThreadCount(num_threads)),
+      factory_(std::move(factory)),
+      sync_(std::move(sync)) {
+  FEWNER_CHECK(factory_ != nullptr && sync_ != nullptr,
+               "ParallelMetaBatch needs a replica factory and sync");
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads_);
+  }
+}
+
+ParallelMetaBatch::~ParallelMetaBatch() = default;
+
+int64_t ParallelMetaBatch::ResolveThreadCount(int64_t requested) {
+  if (requested > 0) return requested;
+  return util::ThreadPool::DefaultThreadCount();
+}
+
+nn::Module* ParallelMetaBatch::Replica(int64_t i) {
+  while (static_cast<int64_t>(replicas_.size()) <= i) {
+    replicas_.push_back(factory_());
+    FEWNER_CHECK(replicas_.back() != nullptr, "replica factory returned null");
+  }
+  return replicas_[static_cast<size_t>(i)].get();
+}
+
+double ParallelMetaBatch::Run(int64_t num_tasks, const TaskFn& fn,
+                              GradAccumulator* accumulator) {
+  FEWNER_CHECK(num_tasks > 0, "ParallelMetaBatch::Run with no tasks");
+  struct TaskResult {
+    std::vector<tensor::Tensor> grads;
+    double loss = 0.0;
+  };
+  std::vector<TaskResult> results(static_cast<size_t>(num_tasks));
+
+  const int64_t workers = std::min(num_threads_, num_tasks);
+  if (workers <= 1 || pool_ == nullptr) {
+    nn::Module* replica = Replica(0);
+    for (int64_t t = 0; t < num_tasks; ++t) {
+      sync_(replica);
+      results[static_cast<size_t>(t)].loss =
+          fn(t, replica, &results[static_cast<size_t>(t)].grads);
+    }
+  } else {
+    // Replicas are created on the calling thread; workers claim task indices
+    // from a shared counter so an uneven task-cost mix still load-balances.
+    for (int64_t w = 0; w < workers; ++w) Replica(w);
+    std::atomic<int64_t> next{0};
+    for (int64_t w = 0; w < workers; ++w) {
+      nn::Module* replica = Replica(w);
+      pool_->Submit([&, replica] {
+        for (;;) {
+          const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
+          if (t >= num_tasks) return;
+          // Re-sync before every task: a replica's parameters may have been
+          // mutated by the previous task it ran (e.g. Reptile's inner SGD).
+          sync_(replica);
+          results[static_cast<size_t>(t)].loss =
+              fn(t, replica, &results[static_cast<size_t>(t)].grads);
+        }
+      });
+    }
+    pool_->Wait();
+  }
+
+  // Deterministic reduction: ascending task order, single thread.
+  double loss_sum = 0.0;
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    TaskResult& result = results[static_cast<size_t>(t)];
+    if (accumulator != nullptr) accumulator->Add(result.grads);
+    loss_sum += result.loss;
+  }
+  return loss_sum;
+}
+
+ParallelMetaBatch BackboneMetaBatch(int64_t num_threads, models::Backbone* master) {
+  FEWNER_CHECK(master != nullptr, "BackboneMetaBatch needs a master backbone");
+  auto factory = [master]() -> std::unique_ptr<nn::Module> {
+    // The init draws are discarded by the first sync; any seed works.
+    util::Rng init_rng(0x5EED5EED5EED5EEDull);
+    return std::make_unique<models::Backbone>(master->config(), &init_rng);
+  };
+  auto sync = [master](nn::Module* replica) {
+    auto* net = static_cast<models::Backbone*>(replica);
+    net->CopyParametersFrom(master);
+    net->SetTraining(master->training());
+    net->set_dropout_base(master->dropout_base());
+  };
+  return ParallelMetaBatch(num_threads, std::move(factory), std::move(sync));
+}
+
+models::EncodedEpisode PrepareTrainingTask(const data::EpisodeSampler& sampler,
+                                           const models::EpisodeEncoder& encoder,
+                                           const TrainConfig& config,
+                                           uint64_t episode_id,
+                                           models::Backbone* net) {
+  data::Episode episode = sampler.Sample(episode_id);
+  BoundTrainingEpisode(config, &episode);
+  FEWNER_CHECK(!episode.support.empty() && !episode.query.empty(),
+               "degenerate training episode " << episode_id);
+  models::EncodedEpisode enc = encoder.Encode(episode);
+  if (net != nullptr) net->ReseedDropout(episode_id);
+  return enc;
+}
+
+}  // namespace fewner::meta

@@ -1,0 +1,103 @@
+// Episode-parallel meta-batch execution with a deterministic reduction.
+//
+// The outer loop of every meta-learning method here backpropagates each task
+// of a meta-batch independently and sums the per-task gradients, so the batch
+// is embarrassingly parallel.  ParallelMetaBatch runs each task's full
+// pipeline (sample -> encode -> inner-loop adaptation -> outer backward) on a
+// worker thread against a *replica* of the method's model, then reduces the
+// per-task gradients into a GradAccumulator in ascending task order on the
+// calling thread.
+//
+// Determinism contract: results are bit-identical for ANY thread count
+// (including the inline 1-thread path) because
+//   1. every task is a pure function of its episode id — the sampler is
+//      stateless, and the replica's dropout stream is re-forked per task from
+//      a base copied off the master (never from draw history);
+//   2. replicas are value-synced from the master before every task, so which
+//      worker runs a task cannot matter;
+//   3. gradients accumulate into double buffers in fixed task order on one
+//      thread (see GradAccumulator).
+//
+// Thread isolation: each worker owns its replica, so autodiff graphs — node
+// allocation, ParameterPatch slot swaps, inner-loop create_graph chains —
+// never share mutable state across threads.  The master's parameter values
+// are read concurrently but only written by the caller after Run() returns.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/episode_sampler.h"
+#include "meta/grad_accumulator.h"
+#include "meta/method.h"
+#include "models/backbone.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace fewner::meta {
+
+/// Runs meta-batch tasks on model replicas and reduces deterministically.
+class ParallelMetaBatch {
+ public:
+  /// Builds one replica of the method's model (parameter values are
+  /// overwritten by `sync` before use, so the factory's init values are moot).
+  using ReplicaFactory = std::function<std::unique_ptr<nn::Module>()>;
+
+  /// Makes `replica` equivalent to the master: parameter values, training
+  /// mode, and any non-parameter state a task depends on (dropout base).
+  using ReplicaSync = std::function<void(nn::Module* replica)>;
+
+  /// Runs task `task` of the batch on `model` (the replica, already synced):
+  /// fills `grads` with the task's detached gradient tensors in accumulator
+  /// layout and returns the task's loss.
+  using TaskFn = std::function<double(int64_t task, nn::Module* model,
+                                      std::vector<tensor::Tensor>* grads)>;
+
+  /// `num_threads` <= 0 resolves through ResolveThreadCount().
+  ParallelMetaBatch(int64_t num_threads, ReplicaFactory factory, ReplicaSync sync);
+  ~ParallelMetaBatch();
+
+  ParallelMetaBatch(ParallelMetaBatch&&) = default;
+  ParallelMetaBatch& operator=(ParallelMetaBatch&&) = delete;
+
+  /// Executes tasks 0..num_tasks-1 and adds each task's gradients to
+  /// `accumulator` in ascending task order.  Returns the sum of task losses
+  /// (also reduced in task order).  `accumulator` may be null when the caller
+  /// only needs the losses.
+  double Run(int64_t num_tasks, const TaskFn& fn, GradAccumulator* accumulator);
+
+  int64_t num_threads() const { return num_threads_; }
+
+  /// `requested` > 0 is used as-is; otherwise the FEWNER_THREADS environment
+  /// variable decides (see util::ThreadPool::DefaultThreadCount).
+  static int64_t ResolveThreadCount(int64_t requested);
+
+ private:
+  nn::Module* Replica(int64_t i);
+
+  int64_t num_threads_;
+  ReplicaFactory factory_;
+  ReplicaSync sync_;
+  std::vector<std::unique_ptr<nn::Module>> replicas_;  ///< lazily built, one per worker
+  std::unique_ptr<util::ThreadPool> pool_;             ///< null when single-threaded
+};
+
+/// ParallelMetaBatch over plain Backbone replicas of `master` — the common
+/// case for fewner/maml/protonet/matching_net/reptile/finetune.
+ParallelMetaBatch BackboneMetaBatch(int64_t num_threads, models::Backbone* master);
+
+/// Per-task preamble shared by every method: samples episode `episode_id`,
+/// applies the training bounds, encodes it, and re-forks `net`'s dropout
+/// stream for the task (`net` may be null for dropout-free models).  Checks
+/// the episode is non-degenerate.
+models::EncodedEpisode PrepareTrainingTask(const data::EpisodeSampler& sampler,
+                                           const models::EpisodeEncoder& encoder,
+                                           const TrainConfig& config,
+                                           uint64_t episode_id,
+                                           models::Backbone* net);
+
+}  // namespace fewner::meta

@@ -1,6 +1,7 @@
 #include "meta/protonet.h"
 
 #include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
 
 #include "nn/optim.h"
 #include "tensor/autodiff.h"
@@ -20,13 +21,14 @@ ProtoNet::ProtoNet(const models::BackboneConfig& config, util::Rng* rng) {
   backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
 }
 
-Tensor ProtoNet::BuildPrototypes(const std::vector<models::EncodedSentence>& support,
-                                 std::vector<bool>* class_present) const {
-  const int64_t num_classes = backbone_->config().max_tags;
+Tensor ProtoNet::BuildPrototypes(const models::Backbone& net,
+                                 const std::vector<models::EncodedSentence>& support,
+                                 std::vector<bool>* class_present) {
+  const int64_t num_classes = net.config().max_tags;
   std::vector<Tensor> features;
   std::vector<int64_t> tags;
   for (const auto& sentence : support) {
-    features.push_back(backbone_->Encode(sentence, Tensor()));
+    features.push_back(net.Encode(sentence, Tensor()));
     tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
   }
   Tensor all = tensor::Concat(features, 0);  // [T, D]
@@ -49,11 +51,12 @@ Tensor ProtoNet::BuildPrototypes(const std::vector<models::EncodedSentence>& sup
                         all);  // [C, D]
 }
 
-Tensor ProtoNet::TokenLogits(const models::EncodedSentence& sentence,
+Tensor ProtoNet::TokenLogits(const models::Backbone& net,
+                             const models::EncodedSentence& sentence,
                              const Tensor& prototypes,
-                             const std::vector<bool>& class_present) const {
-  const int64_t num_classes = backbone_->config().max_tags;
-  Tensor q = backbone_->Encode(sentence, Tensor());  // [L, D]
+                             const std::vector<bool>& class_present) {
+  const int64_t num_classes = net.config().max_tags;
+  Tensor q = net.Encode(sentence, Tensor());  // [L, D]
   // -||q - p||^2 = -(||q||^2 - 2 q·p + ||p||^2)
   Tensor q_sq = tensor::SumAxis(tensor::Square(q), 1, /*keepdim=*/true);  // [L, 1]
   Tensor p_sq = tensor::Reshape(
@@ -70,16 +73,17 @@ Tensor ProtoNet::TokenLogits(const models::EncodedSentence& sentence,
   return tensor::Add(logits, Tensor::FromData(Shape{num_classes}, std::move(mask)));
 }
 
-Tensor ProtoNet::EpisodeLoss(const models::EncodedEpisode& episode) const {
+Tensor ProtoNet::EpisodeLoss(const models::Backbone& net,
+                             const models::EncodedEpisode& episode) {
   std::vector<bool> class_present;
-  Tensor prototypes = BuildPrototypes(episode.support, &class_present);
-  const int64_t num_classes = backbone_->config().max_tags;
+  Tensor prototypes = BuildPrototypes(net, episode.support, &class_present);
+  const int64_t num_classes = net.config().max_tags;
 
   Tensor total;
   int64_t tokens = 0;
   for (const auto& sentence : episode.query) {
     Tensor logp = tensor::LogSoftmaxLastDim(
-        TokenLogits(sentence, prototypes, class_present));
+        TokenLogits(net, sentence, prototypes, class_present));
     // Select gold log-probs; skip tokens whose gold class has no prototype.
     const int64_t length = sentence.length();
     std::vector<float> select(static_cast<size_t>(length * num_classes), 0.0f);
@@ -107,21 +111,24 @@ void ProtoNet::Train(const data::EpisodeSampler& sampler,
   backbone_->SetTraining(true);
   nn::Adam optimizer(backbone_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
-  uint64_t episode_id = 0;
+  ParallelMetaBatch batch = BackboneMetaBatch(config.num_threads, backbone_.get());
   const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
   for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
     GradAccumulator accumulator(params);
-    double loss_sum = 0.0;
-    for (int64_t b = 0; b < config.meta_batch; ++b) {
-      data::Episode episode = sampler.Sample(episode_id++);
-      BoundTrainingEpisode(config, &episode);
-      models::EncodedEpisode enc = encoder.Encode(episode);
-      Tensor loss = EpisodeLoss(enc);
-      accumulator.Add(tensor::autodiff::Grad(loss, params));
-      loss_sum += loss.item();
-    }
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* net = static_cast<models::Backbone*>(model);
+          models::EncodedEpisode enc = PrepareTrainingTask(
+              sampler, encoder, config, base + static_cast<uint64_t>(t), net);
+          Tensor loss = EpisodeLoss(*net, enc);
+          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+          return loss.item();
+        },
+        &accumulator);
     std::vector<Tensor> grads =
-        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
     nn::ClipGradNorm(&grads, config.grad_clip);
     optimizer.Step(grads);
     MaybeInvokeCallback(config, it);
@@ -137,11 +144,11 @@ std::vector<std::vector<int64_t>> ProtoNet::AdaptAndPredict(
     const models::EncodedEpisode& episode) {
   backbone_->SetTraining(false);
   std::vector<bool> class_present;
-  Tensor prototypes = BuildPrototypes(episode.support, &class_present);
+  Tensor prototypes = BuildPrototypes(*backbone_, episode.support, &class_present);
   std::vector<std::vector<int64_t>> predictions;
   predictions.reserve(episode.query.size());
   for (const auto& sentence : episode.query) {
-    Tensor logits = TokenLogits(sentence, prototypes, class_present);
+    Tensor logits = TokenLogits(*backbone_, sentence, prototypes, class_present);
     const int64_t length = sentence.length();
     const int64_t num_classes = backbone_->config().max_tags;
     std::vector<int64_t> tags(static_cast<size_t>(length));

@@ -29,21 +29,29 @@ class ProtoNet : public FewShotMethod {
   std::vector<std::vector<int64_t>> AdaptAndPredict(
       const models::EncodedEpisode& episode) override;
 
+  models::Backbone* backbone() { return backbone_.get(); }
+
  private:
+  // The forward helpers take the backbone explicitly so the episode-parallel
+  // trainer can run them against per-worker replicas.
+
   /// Episode loss: cross-entropy of query tokens against prototype distances.
-  tensor::Tensor EpisodeLoss(const models::EncodedEpisode& episode) const;
+  static tensor::Tensor EpisodeLoss(const models::Backbone& net,
+                                    const models::EncodedEpisode& episode);
 
   /// Per-token logits [L, max_tags] for one query sentence given prototypes
   /// [max_tags, D] and a present-class mask.
-  tensor::Tensor TokenLogits(const models::EncodedSentence& sentence,
-                             const tensor::Tensor& prototypes,
-                             const std::vector<bool>& class_present) const;
+  static tensor::Tensor TokenLogits(const models::Backbone& net,
+                                    const models::EncodedSentence& sentence,
+                                    const tensor::Tensor& prototypes,
+                                    const std::vector<bool>& class_present);
 
   /// Builds prototypes from support features; `class_present` marks classes
   /// with at least one support token.
-  tensor::Tensor BuildPrototypes(
+  static tensor::Tensor BuildPrototypes(
+      const models::Backbone& net,
       const std::vector<models::EncodedSentence>& support,
-      std::vector<bool>* class_present) const;
+      std::vector<bool>* class_present);
 
   std::unique_ptr<models::Backbone> backbone_;
 };

@@ -1,5 +1,8 @@
 #include "meta/reptile.h"
 
+#include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
+
 #include "nn/optim.h"
 #include "tensor/autodiff.h"
 #include "util/logging.h"
@@ -16,17 +19,21 @@ Reptile::Reptile(const models::BackboneConfig& config, util::Rng* rng) {
   backbone_ = std::make_unique<models::Backbone>(plain, &init_rng);
 }
 
-void Reptile::SgdOnSupport(const std::vector<models::EncodedSentence>& support,
-                           const std::vector<bool>& valid_tags, int64_t steps,
-                           float lr) {
-  nn::Sgd sgd(backbone_->Parameters(), lr);
+double Reptile::SgdOnSupport(models::Backbone* net,
+                             const std::vector<models::EncodedSentence>& support,
+                             const std::vector<bool>& valid_tags, int64_t steps,
+                             float lr) {
+  nn::Sgd sgd(net->Parameters(), lr);
+  double last_loss = 0.0;
   for (int64_t k = 0; k < steps; ++k) {
-    Tensor loss = backbone_->BatchLoss(support, Tensor(), valid_tags);
+    Tensor loss = net->BatchLoss(support, Tensor(), valid_tags);
     std::vector<Tensor> grads =
-        tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
+        tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
     nn::ClipGradNorm(&grads, 5.0f);
     sgd.Step(grads);
+    last_loss = loss.item();
   }
+  return last_loss;
 }
 
 void Reptile::Train(const data::EpisodeSampler& sampler,
@@ -38,28 +45,50 @@ void Reptile::Train(const data::EpisodeSampler& sampler,
   // ε: the meta step toward adapted weights.  Reuses meta_lr scaled up since
   // Reptile's update is a convex interpolation, not an Adam-preconditioned one.
   const float epsilon = config.meta_lr * 25.0f;
-  uint64_t episode_id = 0;
-  const int64_t tasks = config.iterations * config.meta_batch;
-  for (int64_t task = 0; task < tasks; ++task) {
-    data::Episode episode = sampler.Sample(episode_id++);
-    BoundTrainingEpisode(config, &episode);
-    models::EncodedEpisode enc = encoder.Encode(episode);
-
-    std::vector<std::vector<float>> before =
-        nn::SnapshotParameterValues(backbone_.get());
-    SgdOnSupport(enc.support, enc.valid_tags, config.inner_steps_train,
-                 config.inner_lr);
-    // θ ← θ + ε (θ' − θ)
-    auto slots = backbone_->Parameters();
+  ParallelMetaBatch batch = BackboneMetaBatch(config.num_threads, backbone_.get());
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
+    GradAccumulator accumulator(params);
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* net = static_cast<models::Backbone*>(model);
+          models::EncodedEpisode enc = PrepareTrainingTask(
+              sampler, encoder, config, base + static_cast<uint64_t>(t), net);
+          const double loss = SgdOnSupport(net, enc.support, enc.valid_tags,
+                                           config.inner_steps_train,
+                                           config.inner_lr);
+          // The task's contribution is its parameter delta θ'_task − θ,
+          // reduced like a (pseudo-)gradient.
+          const std::vector<Tensor> adapted = nn::ParameterTensors(net);
+          grads->reserve(adapted.size());
+          for (size_t i = 0; i < adapted.size(); ++i) {
+            const auto& a = adapted[i].data();
+            const auto& b = params[i].data();
+            std::vector<float> delta(a.size());
+            for (size_t j = 0; j < a.size(); ++j) delta[j] = a[j] - b[j];
+            grads->push_back(
+                Tensor::FromData(adapted[i].shape(), std::move(delta)));
+          }
+          return loss;
+        },
+        &accumulator);
+    // Batched Reptile step: θ ← θ + ε · mean_task(θ'_task − θ).
+    std::vector<Tensor> deltas =
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
+    std::vector<Tensor*> slots = backbone_->Parameters();
     for (size_t i = 0; i < slots.size(); ++i) {
       std::vector<float>* values = slots[i]->mutable_data();
+      const auto& d = deltas[i].data();
       for (size_t j = 0; j < values->size(); ++j) {
-        const float adapted = (*values)[j];
-        (*values)[j] = before[i][j] + epsilon * (adapted - before[i][j]);
+        (*values)[j] += epsilon * d[j];
       }
     }
-    if (config.verbose && task % 50 == 0) {
-      FEWNER_LOG(INFO) << name() << " task " << task;
+    MaybeInvokeCallback(config, it);
+    if (config.verbose && (it % 10 == 0 || it + 1 == config.iterations)) {
+      FEWNER_LOG(INFO) << name() << " iteration " << it << " support loss "
+                       << loss_sum / static_cast<double>(config.meta_batch);
     }
   }
   backbone_->SetTraining(false);
@@ -70,7 +99,8 @@ std::vector<std::vector<int64_t>> Reptile::AdaptAndPredict(
   backbone_->SetTraining(false);
   std::vector<std::vector<float>> snapshot =
       nn::SnapshotParameterValues(backbone_.get());
-  SgdOnSupport(episode.support, episode.valid_tags, test_steps_, inner_lr_);
+  SgdOnSupport(backbone_.get(), episode.support, episode.valid_tags, test_steps_,
+               inner_lr_);
   std::vector<std::vector<int64_t>> predictions;
   predictions.reserve(episode.query.size());
   for (const auto& sentence : episode.query) {

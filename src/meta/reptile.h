@@ -1,8 +1,11 @@
 // Reptile (Nichol et al. 2018): a first-order optimization-based meta-learner
 // from the same family as MAML (paper §2.2's optimization-based category).
 // Instead of differentiating through the inner loop, Reptile runs a few SGD
-// steps on a task and moves the initialization toward the adapted weights:
-//   θ ← θ + ε (θ'_task − θ).
+// steps on a task and moves the initialization toward the adapted weights.
+// This implementation uses the batched variant from the same paper:
+//   θ ← θ + ε · mean_task(θ'_task − θ),
+// which makes the per-task work independent (episode-parallelizable) and the
+// update a deterministic reduction over task deltas.
 // Implemented as an extension beyond the paper's baseline set (see
 // bench/extension_methods) — it brackets MAML from the cheap side the way
 // FEWNER brackets it from the structured side.
@@ -31,11 +34,15 @@ class Reptile : public FewShotMethod {
   std::vector<std::vector<int64_t>> AdaptAndPredict(
       const models::EncodedEpisode& episode) override;
 
+  models::Backbone* backbone() { return backbone_.get(); }
+
  private:
-  /// Runs `steps` SGD steps on the support loss; leaves adapted values in the
-  /// backbone (caller snapshots/restores as needed).
-  void SgdOnSupport(const std::vector<models::EncodedSentence>& support,
-                    const std::vector<bool>& valid_tags, int64_t steps, float lr);
+  /// Runs `steps` SGD steps on the support loss against `net`'s parameters in
+  /// place (caller snapshots/restores as needed); returns the last step's loss.
+  static double SgdOnSupport(models::Backbone* net,
+                             const std::vector<models::EncodedSentence>& support,
+                             const std::vector<bool>& valid_tags, int64_t steps,
+                             float lr);
 
   std::unique_ptr<models::Backbone> backbone_;
   int64_t test_steps_ = TrainConfig{}.inner_steps_test;

@@ -1,6 +1,7 @@
 #include "meta/snail.h"
 
 #include "meta/grad_accumulator.h"
+#include "meta/parallel.h"
 
 #include <cmath>
 
@@ -44,22 +45,23 @@ Snail::Snail(const models::BackboneConfig& config, util::Rng* rng) {
   model_ = std::make_unique<Model>(config, &init_rng);
 }
 
-Tensor Snail::Enrich(const models::EncodedSentence& sentence) const {
-  Tensor features = model_->backbone->Encode(sentence, Tensor());
-  return model_->tc2->Forward(model_->tc1->Forward(features));
+Tensor Snail::Enrich(const Model& m, const models::EncodedSentence& sentence) {
+  Tensor features = m.backbone->Encode(sentence, Tensor());
+  return m.tc2->Forward(m.tc1->Forward(features));
 }
 
-void Snail::BuildSupport(const std::vector<models::EncodedSentence>& support,
-                         Tensor* keys, Tensor* labels) const {
-  const int64_t num_classes = model_->backbone->config().max_tags;
+void Snail::BuildSupport(const Model& m,
+                         const std::vector<models::EncodedSentence>& support,
+                         Tensor* keys, Tensor* labels) {
+  const int64_t num_classes = m.backbone->config().max_tags;
   std::vector<Tensor> feature_blocks;
   std::vector<int64_t> tags;
   for (const auto& sentence : support) {
-    feature_blocks.push_back(Enrich(sentence));
+    feature_blocks.push_back(Enrich(m, sentence));
     tags.insert(tags.end(), sentence.tags.begin(), sentence.tags.end());
   }
   Tensor all = tensor::Concat(feature_blocks, 0);  // [T, tc_dim]
-  *keys = model_->key_proj->Forward(all);          // [T, attn_dim]
+  *keys = m.key_proj->Forward(all);                // [T, attn_dim]
   const int64_t total = all.shape().dim(0);
   std::vector<float> onehot(static_cast<size_t>(total * num_classes), 0.0f);
   for (int64_t t = 0; t < total; ++t) {
@@ -68,23 +70,23 @@ void Snail::BuildSupport(const std::vector<models::EncodedSentence>& support,
   *labels = Tensor::FromData(Shape{total, num_classes}, std::move(onehot));
 }
 
-Tensor Snail::QueryLogProbs(const models::EncodedSentence& sentence,
+Tensor Snail::QueryLogProbs(const Model& m,
+                            const models::EncodedSentence& sentence,
                             const Tensor& support_keys,
                             const Tensor& support_labels,
-                            const std::vector<bool>& valid_tags) const {
-  Tensor enriched = Enrich(sentence);                               // [L, tc]
-  Tensor queries = model_->query_proj->Forward(enriched);           // [L, A]
-  const float scale = 1.0f / std::sqrt(static_cast<float>(model_->attn_dim));
+                            const std::vector<bool>& valid_tags) {
+  Tensor enriched = Enrich(m, sentence);                       // [L, tc]
+  Tensor queries = m.query_proj->Forward(enriched);            // [L, A]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(m.attn_dim));
   Tensor scores = tensor::MulScalar(
       tensor::MatMul(queries, tensor::Transpose(support_keys)), scale);  // [L, T]
   Tensor attention = tensor::SoftmaxLastDim(scores);
   // Attention-weighted label read-out, re-weighted by a learned classifier so
   // the model can counteract the O-class prior of the support tokens.
   Tensor votes = tensor::MatMul(attention, support_labels);  // [L, C]
-  Tensor logits =
-      model_->classifier->Forward(tensor::Concat({enriched, votes}, 1));
+  Tensor logits = m.classifier->Forward(tensor::Concat({enriched, votes}, 1));
   // Tags outside the episode's N ways are masked out of the softmax.
-  const int64_t num_classes = model_->backbone->config().max_tags;
+  const int64_t num_classes = m.backbone->config().max_tags;
   std::vector<float> mask(static_cast<size_t>(num_classes), 0.0f);
   for (int64_t c = 0; c < num_classes; ++c) {
     if (!valid_tags[static_cast<size_t>(c)]) mask[static_cast<size_t>(c)] = -1e7f;
@@ -93,14 +95,14 @@ Tensor Snail::QueryLogProbs(const models::EncodedSentence& sentence,
   return tensor::LogSoftmaxLastDim(logits);
 }
 
-Tensor Snail::EpisodeLoss(const models::EncodedEpisode& episode) const {
+Tensor Snail::EpisodeLoss(const Model& m, const models::EncodedEpisode& episode) {
   Tensor keys, labels;
-  BuildSupport(episode.support, &keys, &labels);
-  const int64_t num_classes = model_->backbone->config().max_tags;
+  BuildSupport(m, episode.support, &keys, &labels);
+  const int64_t num_classes = m.backbone->config().max_tags;
   Tensor total;
   int64_t tokens = 0;
   for (const auto& sentence : episode.query) {
-    Tensor logp = QueryLogProbs(sentence, keys, labels, episode.valid_tags);
+    Tensor logp = QueryLogProbs(m, sentence, keys, labels, episode.valid_tags);
     const int64_t length = sentence.length();
     std::vector<float> select(static_cast<size_t>(length * num_classes), 0.0f);
     for (int64_t t = 0; t < length; ++t) {
@@ -122,21 +124,39 @@ void Snail::Train(const data::EpisodeSampler& sampler,
   model_->SetTraining(true);
   nn::Adam optimizer(model_->Parameters(), config.meta_lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
-  uint64_t episode_id = 0;
+  Model* master = model_.get();
+  ParallelMetaBatch batch(
+      config.num_threads,
+      [master]() -> std::unique_ptr<nn::Module> {
+        // The init draws are discarded by the first sync; any seed works.
+        util::Rng init_rng(0x5EED5EED5EED5EEDull);
+        return std::make_unique<Model>(master->backbone->config(), &init_rng);
+      },
+      [master](nn::Module* replica) {
+        auto* m = static_cast<Model*>(replica);
+        m->CopyParametersFrom(master);
+        m->SetTraining(master->training());
+        m->backbone->set_dropout_base(master->backbone->dropout_base());
+      });
   const std::vector<Tensor> params = nn::ParameterTensors(model_.get());
   for (int64_t it = 0; it < config.iterations; ++it) {
+    const uint64_t base = static_cast<uint64_t>(it * config.meta_batch);
     GradAccumulator accumulator(params);
-    double loss_sum = 0.0;
-    for (int64_t b = 0; b < config.meta_batch; ++b) {
-      data::Episode episode = sampler.Sample(episode_id++);
-      BoundTrainingEpisode(config, &episode);
-      models::EncodedEpisode enc = encoder.Encode(episode);
-      Tensor loss = EpisodeLoss(enc);
-      accumulator.Add(tensor::autodiff::Grad(loss, params));
-      loss_sum += loss.item();
-    }
+    const double loss_sum = batch.Run(
+        config.meta_batch,
+        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+          auto* m = static_cast<Model*>(model);
+          models::EncodedEpisode enc =
+              PrepareTrainingTask(sampler, encoder, config,
+                                  base + static_cast<uint64_t>(t),
+                                  m->backbone.get());
+          Tensor loss = EpisodeLoss(*m, enc);
+          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(m));
+          return loss.item();
+        },
+        &accumulator);
     std::vector<Tensor> grads =
-        accumulator.Finish(1.0f / static_cast<float>(config.meta_batch));
+        accumulator.Finish(1.0 / static_cast<double>(config.meta_batch));
     nn::ClipGradNorm(&grads, config.grad_clip);
     optimizer.Step(grads);
     MaybeInvokeCallback(config, it);
@@ -152,12 +172,12 @@ std::vector<std::vector<int64_t>> Snail::AdaptAndPredict(
     const models::EncodedEpisode& episode) {
   model_->SetTraining(false);
   Tensor keys, labels;
-  BuildSupport(episode.support, &keys, &labels);
+  BuildSupport(*model_, episode.support, &keys, &labels);
   const int64_t num_classes = model_->backbone->config().max_tags;
   std::vector<std::vector<int64_t>> predictions;
   predictions.reserve(episode.query.size());
   for (const auto& sentence : episode.query) {
-    Tensor logp = QueryLogProbs(sentence, keys, labels, episode.valid_tags);
+    Tensor logp = QueryLogProbs(*model_, sentence, keys, labels, episode.valid_tags);
     const auto& values = logp.data();
     const int64_t length = sentence.length();
     std::vector<int64_t> tags(static_cast<size_t>(length));

@@ -35,7 +35,6 @@ class Snail : public FewShotMethod {
   std::vector<std::vector<int64_t>> AdaptAndPredict(
       const models::EncodedEpisode& episode) override;
 
- private:
   /// Encoder backbone + TC blocks + attention projections, as one module so
   /// the optimizer sees every parameter.
   class Model : public nn::Module {
@@ -54,21 +53,31 @@ class Snail : public FewShotMethod {
     int64_t attn_dim = 0;
   };
 
+  Model* model() { return model_.get(); }
+
+ private:
+  // The forward helpers take the model explicitly so the episode-parallel
+  // trainer can run them against per-worker replicas.
+
   /// Encoder features + TC enrichment for one sentence: [L, tc_dim].
-  tensor::Tensor Enrich(const models::EncodedSentence& sentence) const;
+  static tensor::Tensor Enrich(const Model& m,
+                               const models::EncodedSentence& sentence);
 
   /// Per-token log label distribution [L, max_tags] for a query sentence given
   /// stacked support keys and their label one-hots.
-  tensor::Tensor QueryLogProbs(const models::EncodedSentence& sentence,
-                               const tensor::Tensor& support_keys,
-                               const tensor::Tensor& support_labels,
-                               const std::vector<bool>& valid_tags) const;
+  static tensor::Tensor QueryLogProbs(const Model& m,
+                                      const models::EncodedSentence& sentence,
+                                      const tensor::Tensor& support_keys,
+                                      const tensor::Tensor& support_labels,
+                                      const std::vector<bool>& valid_tags);
 
   /// Builds (keys [T, attn_dim], labels [T, max_tags]) from the support set.
-  void BuildSupport(const std::vector<models::EncodedSentence>& support,
-                    tensor::Tensor* keys, tensor::Tensor* labels) const;
+  static void BuildSupport(const Model& m,
+                           const std::vector<models::EncodedSentence>& support,
+                           tensor::Tensor* keys, tensor::Tensor* labels);
 
-  tensor::Tensor EpisodeLoss(const models::EncodedEpisode& episode) const;
+  static tensor::Tensor EpisodeLoss(const Model& m,
+                                    const models::EncodedEpisode& episode);
 
   std::unique_ptr<Model> model_;
 };

@@ -8,7 +8,9 @@ using tensor::Shape;
 using tensor::Tensor;
 
 Backbone::Backbone(const BackboneConfig& config, util::Rng* rng)
-    : config_(config), dropout_rng_(rng->Fork(0xD409u)) {
+    : config_(config),
+      dropout_base_(rng->Fork(0xD409u)),
+      dropout_rng_(dropout_base_.Fork(0)) {
   FEWNER_CHECK(config.word_vocab_size > 0, "backbone needs a word vocabulary");
   word_embedding_ =
       std::make_unique<nn::Embedding>(config.word_vocab_size, config.word_dim, rng);
@@ -49,6 +51,10 @@ Backbone::Backbone(const BackboneConfig& config, util::Rng* rng)
 
   crf_ = std::make_unique<crf::LinearChainCrf>(config.max_tags);
   RegisterModule("crf", crf_.get());
+}
+
+void Backbone::ReseedDropout(uint64_t stream) {
+  dropout_rng_ = dropout_base_.Fork(stream);
 }
 
 int64_t Backbone::token_input_dim() const {

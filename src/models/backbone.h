@@ -101,6 +101,18 @@ class Backbone : public nn::Module {
   /// Token input dimension fed to the BiGRU (word + char [+ φ for kConcat]).
   int64_t token_input_dim() const;
 
+  /// Re-forks the dropout stream as a pure function of (dropout base, stream),
+  /// independent of draws already made.  The episode-parallel trainer calls
+  /// this with the episode id before each task so dropout masks do not depend
+  /// on task execution order or thread count.
+  void ReseedDropout(uint64_t stream);
+
+  /// Dropout base generator — the seed material ReseedDropout forks from.
+  /// Copying it onto a replica (set_dropout_base) makes the replica's dropout
+  /// streams identical to the master's for equal stream ids.
+  const util::Rng& dropout_base() const { return dropout_base_; }
+  void set_dropout_base(const util::Rng& base) { dropout_base_ = base; }
+
  private:
   /// Word + character input representation [L, word_dim (+ char features)].
   tensor::Tensor InputRepresentation(const EncodedSentence& sentence) const;
@@ -113,6 +125,7 @@ class Backbone : public nn::Module {
   std::unique_ptr<nn::FilmGenerator> film_;
   std::unique_ptr<nn::Linear> emission_;
   std::unique_ptr<crf::LinearChainCrf> crf_;
+  util::Rng dropout_base_;
   mutable util::Rng dropout_rng_;
 };
 

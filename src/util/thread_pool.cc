@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace fewner::util {
+
+ThreadPool::ThreadPool(int64_t num_threads) {
+  FEWNER_CHECK(num_threads >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int64_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  FEWNER_CHECK(task != nullptr, "Submit of empty task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    FEWNER_CHECK(!stop_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+int64_t ThreadPool::DefaultThreadCount() {
+  const char* env = std::getenv("FEWNER_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0) return 1;
+  if (value == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int64_t>(hw);
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace fewner::util

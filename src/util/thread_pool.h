@@ -1,0 +1,60 @@
+// Fixed-size worker pool for episode-parallel meta-batch training.
+//
+// The pool is deliberately simple: a mutex-protected FIFO drained by a fixed
+// number of workers.  Meta-batch tasks are coarse (one full forward/backward
+// per task), so queue contention is negligible and a lock-free or
+// work-stealing design would buy nothing measurable.  Determinism is NOT the
+// pool's job — callers that need reproducible results must make each task a
+// pure function of its index and reduce task outputs in a fixed order (see
+// meta::ParallelMetaBatch).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fewner::util {
+
+/// Fixed worker count; tasks are run in submission order (per worker pickup).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int64_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Must not be called concurrently with destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int64_t size() const { return static_cast<int64_t>(workers_.size()); }
+
+  /// Thread count from the FEWNER_THREADS environment variable; 1 when the
+  /// variable is unset, empty, or not a positive integer.  "0" means "use all
+  /// hardware threads".
+  static int64_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: queue non-empty / stop
+  std::condition_variable idle_cv_;   ///< signals Wait(): queue empty, none active
+  int64_t active_ = 0;                ///< tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace fewner::util

@@ -4,12 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "meta/fewner.h"
 #include "meta/finetune.h"
+#include "meta/grad_accumulator.h"
 #include "meta/lm_tagger.h"
 #include "meta/maml.h"
 #include "meta/protonet.h"
@@ -219,6 +221,174 @@ TEST_F(MetaTest, LmTaggerTrainsAndPredicts) {
   EXPECT_EQ(tagger.name(), "GPT2");
   tagger.Train(*sampler_, *encoder_, train_config_);
   CheckPredictions(&tagger);
+}
+
+/// Finite-difference gradient of the support loss w.r.t. φ at φ = 0.
+std::vector<float> PhiGradientByFiniteDifference(
+    const models::Backbone& net,
+    const std::vector<models::EncodedSentence>& support,
+    const std::vector<bool>& valid_tags, double h) {
+  const int64_t dim = net.ZeroContext().shape().dim(0);
+  std::vector<float> grad(static_cast<size_t>(dim));
+  for (int64_t i = 0; i < dim; ++i) {
+    std::vector<float> up(static_cast<size_t>(dim), 0.0f);
+    std::vector<float> down(static_cast<size_t>(dim), 0.0f);
+    up[static_cast<size_t>(i)] = static_cast<float>(h);
+    down[static_cast<size_t>(i)] = static_cast<float>(-h);
+    const float loss_up =
+        net.BatchLoss(support,
+                      Tensor::FromData(tensor::Shape{dim}, std::move(up)),
+                      valid_tags)
+            .item();
+    const float loss_down =
+        net.BatchLoss(support,
+                      Tensor::FromData(tensor::Shape{dim}, std::move(down)),
+                      valid_tags)
+            .item();
+    grad[static_cast<size_t>(i)] =
+        static_cast<float>((loss_up - loss_down) / (2.0 * h));
+  }
+  return grad;
+}
+
+TEST_F(MetaTest, FewnerInnerStepMatchesFiniteDifferenceClipInactive) {
+  // One clipped inner step from φ = 0 is φ₁ = −α · clip_scale · ∂L/∂φ.  On a
+  // normal-size support set the gradient norm stays under the clip threshold
+  // (clip_scale = 1), so φ₁ must equal −α·g for an independently
+  // finite-differenced g.
+  models::BackboneConfig smooth = config_;
+  smooth.dropout = 0.0f;
+  util::Rng rng(1);
+  Fewner fewner(smooth, &rng);
+  fewner.backbone()->SetTraining(false);
+
+  // BatchLoss sums over sentences, so a full support set usually clips; scan
+  // episodes for a single support sentence whose gradient norm sits safely
+  // below the threshold to test the unclipped branch.
+  std::vector<models::EncodedSentence> support;
+  std::vector<bool> valid_tags;
+  std::vector<float> g;
+  double norm = 0.0;
+  for (uint64_t id = 0; id < 20 && support.empty(); ++id) {
+    models::EncodedEpisode episode = EncodeEpisode(id);
+    for (const auto& sentence : episode.support) {
+      std::vector<models::EncodedSentence> candidate = {sentence};
+      std::vector<float> grad = PhiGradientByFiniteDifference(
+          *fewner.backbone(), candidate, episode.valid_tags, 1e-2);
+      double norm_sq = 0.0;
+      for (float v : grad) norm_sq += static_cast<double>(v) * v;
+      const double candidate_norm = std::sqrt(norm_sq);
+      if (candidate_norm > 1e-3 && candidate_norm < 4.5) {
+        support = std::move(candidate);
+        valid_tags = episode.valid_tags;
+        g = std::move(grad);
+        norm = candidate_norm;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(support.empty())
+      << "no support sentence with an unclipped gradient in 20 episodes";
+
+  const float lr = 0.1f;
+  Tensor phi = fewner.AdaptContext(support, valid_tags, 1, lr,
+                                   /*create_graph=*/false);
+  const auto& actual = phi.data();
+  ASSERT_EQ(actual.size(), g.size());
+  for (size_t i = 0; i < g.size(); ++i) {
+    const float expected = -lr * g[i];
+    EXPECT_NEAR(actual[i], expected, 0.05 * std::abs(expected) + 1e-3)
+        << "φ entry " << i << " (gradient norm " << norm << ")";
+  }
+}
+
+TEST_F(MetaTest, FewnerInnerStepMatchesFiniteDifferenceClipActive) {
+  // BatchLoss sums over sentences, so replicating the support set scales the
+  // gradient past the clip threshold; the step must then be
+  // φ₁ = −α · (5/‖g‖) · g.
+  models::BackboneConfig smooth = config_;
+  smooth.dropout = 0.0f;
+  util::Rng rng(1);
+  Fewner fewner(smooth, &rng);
+  fewner.backbone()->SetTraining(false);
+  models::EncodedEpisode episode = EncodeEpisode(0);
+
+  std::vector<models::EncodedSentence> big_support;
+  for (int copy = 0; copy < 25; ++copy) {
+    big_support.insert(big_support.end(), episode.support.begin(),
+                       episode.support.end());
+  }
+  const std::vector<float> g = PhiGradientByFiniteDifference(
+      *fewner.backbone(), big_support, episode.valid_tags, 1e-2);
+  double norm_sq = 0.0;
+  for (float v : g) norm_sq += static_cast<double>(v) * v;
+  const double norm = std::sqrt(norm_sq);
+  ASSERT_GT(norm, 5.0) << "replication did not push the gradient past the clip";
+
+  const float lr = 0.1f;
+  const double clip_scale = 5.0 / norm;
+  Tensor phi = fewner.AdaptContext(big_support, episode.valid_tags, 1, lr,
+                                   /*create_graph=*/false);
+  const auto& actual = phi.data();
+  ASSERT_EQ(actual.size(), g.size());
+  for (size_t i = 0; i < g.size(); ++i) {
+    const float expected = static_cast<float>(-lr * clip_scale * g[i]);
+    EXPECT_NEAR(actual[i], expected, 0.05 * std::abs(expected) + 1e-3)
+        << "φ entry " << i;
+  }
+}
+
+// ------------------------------------------------------- GradAccumulator
+
+TEST(GradAccumulatorTest, AveragesInDoublePrecision) {
+  using tensor::Shape;
+  std::vector<Tensor> params = {
+      Tensor::FromData(Shape{2}, {0.0f, 0.0f}, /*requires_grad=*/true),
+      Tensor::FromData(Shape{1, 2}, {0.0f, 0.0f}, /*requires_grad=*/true)};
+  GradAccumulator accumulator(params);
+  EXPECT_FALSE(accumulator.finished());
+  accumulator.Add({Tensor::FromData(Shape{2}, {1.5f, -2.25f}),
+                   Tensor::FromData(Shape{1, 2}, {4.0f, 0.5f})});
+  accumulator.Add({Tensor::FromData(Shape{2}, {0.5f, 0.25f}),
+                   Tensor::FromData(Shape{1, 2}, {-1.0f, 1.5f})});
+
+  // The raw buffers hold the exact double sums.
+  ASSERT_EQ(accumulator.buffers().size(), 2u);
+  EXPECT_EQ(accumulator.buffers()[0], (std::vector<double>{2.0, -2.0}));
+  EXPECT_EQ(accumulator.buffers()[1], (std::vector<double>{3.0, 2.0}));
+
+  std::vector<Tensor> mean = accumulator.Finish(0.5);
+  EXPECT_TRUE(accumulator.finished());
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean[0].shape(), params[0].shape());
+  EXPECT_EQ(mean[1].shape(), params[1].shape());
+  EXPECT_EQ(mean[0].data(), (std::vector<float>{1.0f, -1.0f}));
+  EXPECT_EQ(mean[1].data(), (std::vector<float>{1.5f, 1.0f}));
+}
+
+TEST(GradAccumulatorTest, LayoutMismatchAborts) {
+  using tensor::Shape;
+  std::vector<Tensor> params = {
+      Tensor::FromData(Shape{2}, {0.0f, 0.0f}, /*requires_grad=*/true)};
+  GradAccumulator wrong_count(params);
+  EXPECT_DEATH(wrong_count.Add({Tensor::FromData(Shape{2}, {1.0f, 2.0f}),
+                                Tensor::FromData(Shape{1}, {3.0f})}),
+               "layout mismatch");
+  GradAccumulator wrong_size(params);
+  EXPECT_DEATH(wrong_size.Add({Tensor::FromData(Shape{3}, {1.0f, 2.0f, 3.0f})}),
+               "size mismatch");
+}
+
+TEST(GradAccumulatorTest, ReuseAfterFinishAborts) {
+  using tensor::Shape;
+  std::vector<Tensor> params = {
+      Tensor::FromData(Shape{1}, {0.0f}, /*requires_grad=*/true)};
+  GradAccumulator accumulator(params);
+  accumulator.Add({Tensor::FromData(Shape{1}, {2.0f})});
+  accumulator.Finish(1.0);
+  EXPECT_DEATH(accumulator.Add({Tensor::FromData(Shape{1}, {1.0f})}),
+               "after Finish");
+  EXPECT_DEATH(accumulator.Finish(1.0), "called twice");
 }
 
 TEST_F(MetaTest, MethodsShareEvaluationEpisodes) {

@@ -114,6 +114,58 @@ TEST(RngTest, ForkStreamsDiffer) {
   EXPECT_NE(a.Fork(1).Next(), a.Fork(2).Next());
 }
 
+TEST(RngTest, ForkSameStreamIdIsDeterministic) {
+  // (seed, stream_id) fully determines a forked stream — the property the
+  // episode-parallel trainer leans on to key per-task randomness by episode id.
+  Rng a(123), b(123);
+  for (uint64_t stream = 0; stream < 16; ++stream) {
+    Rng fork_a = a.Fork(stream);
+    Rng fork_b = b.Fork(stream);
+    for (int draw = 0; draw < 8; ++draw) EXPECT_EQ(fork_a.Next(), fork_b.Next());
+  }
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng forked(77);
+  Rng untouched(77);
+  for (uint64_t stream = 0; stream < 8; ++stream) forked.Fork(stream);
+  for (int draw = 0; draw < 16; ++draw) {
+    EXPECT_EQ(forked.Next(), untouched.Next());
+  }
+}
+
+TEST(RngTest, PreForkedStreamsReproduceSerialDrawSequence) {
+  // Serial reference: fork per-episode streams lazily, in episode order, and
+  // drain each in turn.
+  Rng serial_parent(42);
+  std::vector<uint64_t> serial;
+  for (uint64_t episode = 0; episode < 8; ++episode) {
+    Rng stream = serial_parent.Fork(episode);
+    for (int draw = 0; draw < 4; ++draw) serial.push_back(stream.Next());
+  }
+
+  // Parallel pattern: pre-fork every stream up front, then consume them in a
+  // scrambled worker-completion order.  The per-episode draws must be the
+  // same as the serial pass — forked streams are pure functions of the id.
+  Rng parallel_parent(42);
+  std::vector<Rng> streams;
+  for (uint64_t episode = 0; episode < 8; ++episode) {
+    streams.push_back(parallel_parent.Fork(episode));
+  }
+  const size_t worker_order[] = {5, 0, 7, 2, 6, 1, 4, 3};
+  std::vector<std::vector<uint64_t>> draws(8);
+  for (size_t episode : worker_order) {
+    for (int draw = 0; draw < 4; ++draw) {
+      draws[episode].push_back(streams[episode].Next());
+    }
+  }
+  std::vector<uint64_t> parallel;
+  for (const auto& episode_draws : draws) {
+    parallel.insert(parallel.end(), episode_draws.begin(), episode_draws.end());
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng rng(13);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
