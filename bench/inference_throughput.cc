@@ -1,0 +1,167 @@
+// Serving throughput of the graph-free inference fast path.
+//
+// Adapts one FEWNER task, then tags the same query workload two ways:
+//
+//   graph mode — the pre-existing path: every op allocates a graph node,
+//                computes requires_grad, and builds a backward closure that
+//                decode immediately throws away.
+//   eval mode  — AdaptedTagger: ops skip all autodiff bookkeeping and write
+//                into arena-recycled buffers (tensor/eval_mode.h).
+//
+// Reports sentences/second for both modes at several batch sizes plus the
+// speedup, and verifies the two modes emit identical tag sequences on every
+// sentence — the throughput number is only printed if the outputs agree, so
+// a speedup can never be bought with a correctness regression.
+//
+//   ./inference_throughput --batch-sizes 1,8,32 --min-seconds 1.0
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/episode_sampler.h"
+#include "data/synthetic.h"
+#include "meta/adapted_tagger.h"
+#include "meta/fewner.h"
+#include "tensor/eval_mode.h"
+#include "text/bio.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fewner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `tag_batch` until `min_seconds` of wall time has elapsed; returns
+/// sentences per second.
+template <typename F>
+double MeasureThroughput(int64_t batch, double min_seconds, F tag_batch) {
+  tag_batch();  // warm-up: one-time allocations and arena growth
+  int64_t batches = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    tag_batch();
+    ++batches;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(batches * batch) / elapsed;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddString("batch-sizes", "1,8,32", "comma list of sentences per batch");
+  flags.AddInt("sentences", 300, "synthetic corpus size");
+  flags.AddInt("hidden-dim", 16, "backbone hidden dimension");
+  flags.AddInt("inner-steps", 8, "adaptation gradient steps");
+  flags.AddDouble("min-seconds", 1.0, "minimum measured wall time per cell");
+  flags.AddInt("seed", 42, "global seed");
+  flags.AddBool("verbose", false, "log progress");
+  util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+  if (!flags.GetBool("verbose")) util::SetLogLevel(util::LogLevel::kWarning);
+
+  std::vector<int64_t> batch_sizes;
+  for (const std::string& s : util::Split(flags.GetString("batch-sizes"), ',')) {
+    char* end = nullptr;
+    const long long value = std::strtoll(s.c_str(), &end, 10);
+    if (s.empty() || *end != '\0' || value < 1) {
+      std::cerr << "invalid --batch-sizes entry '" << s << "'\n";
+      return 1;
+    }
+    batch_sizes.push_back(value);
+  }
+  int64_t max_batch = 1;
+  for (int64_t b : batch_sizes) max_batch = b > max_batch ? b : max_batch;
+
+  data::SyntheticSpec spec;
+  spec.name = "serving";
+  spec.genre = "newswire";
+  spec.num_types = 8;
+  spec.num_sentences = flags.GetInt("sentences");
+  spec.mentions_per_sentence = 2.0;
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  data::Corpus corpus = data::GenerateCorpus(spec);
+
+  text::VocabBuilder builder;
+  for (const auto& sentence : corpus.sentences) builder.AddSentence(sentence.tokens);
+  text::Vocab words = builder.BuildWordVocab();
+  text::Vocab chars = builder.BuildCharVocab();
+
+  models::BackboneConfig config;
+  config.word_vocab_size = words.size();
+  config.char_vocab_size = chars.size();
+  config.word_dim = 16;
+  config.char_dim = 8;
+  config.filters_per_width = 6;
+  config.hidden_dim = flags.GetInt("hidden-dim");
+  config.max_tags = text::NumTags(3);
+  config.context_dim = 8;
+  config.dropout = 0.1f;
+
+  models::EpisodeEncoder encoder(&words, &chars, config.max_tags);
+  // Query pool large enough to fill the biggest batch with distinct sentences.
+  data::EpisodeSampler sampler(&corpus, corpus.entity_types, 3, 1, max_batch,
+                               spec.seed ^ 0x5E44Eull);
+
+  util::Rng rng(spec.seed);
+  meta::Fewner fewner(config, &rng);
+  models::EncodedEpisode episode = encoder.Encode(sampler.Sample(0));
+
+  // One adaptation, shared by both modes: the comparison isolates decode cost.
+  meta::AdaptedTagger tagger(&fewner, episode);
+  models::Backbone* net = fewner.backbone();
+  const tensor::Tensor& phi = tagger.phi();
+
+  // Correctness gate: both paths must emit identical tag sequences.
+  for (const auto& sentence : episode.query) {
+    std::vector<int64_t> graph_tags = net->Decode(sentence, phi, episode.valid_tags);
+    if (tagger.Tag(sentence) != graph_tags) {
+      std::cerr << "ERROR: eval-mode tags diverge from graph-mode tags\n";
+      return 1;
+    }
+  }
+
+  const double min_seconds = flags.GetDouble("min-seconds");
+  std::cout << "  batch    graph sent/s     eval sent/s    speedup\n";
+  double worst_speedup = 1e30;
+  for (int64_t batch : batch_sizes) {
+    std::vector<models::EncodedSentence> workload;
+    for (int64_t i = 0; i < batch; ++i) {
+      workload.push_back(episode.query[static_cast<size_t>(
+          i % static_cast<int64_t>(episode.query.size()))]);
+    }
+    const double graph_rate = MeasureThroughput(batch, min_seconds, [&] {
+      for (const auto& sentence : workload) {
+        net->Decode(sentence, phi, episode.valid_tags);
+      }
+    });
+    const double eval_rate =
+        MeasureThroughput(batch, min_seconds, [&] { tagger.TagAll(workload); });
+    const double speedup = eval_rate / graph_rate;
+    worst_speedup = speedup < worst_speedup ? speedup : worst_speedup;
+    std::printf("%7lld %15.1f %15.1f %9.2fx\n", static_cast<long long>(batch),
+                graph_rate, eval_rate, speedup);
+  }
+
+  const auto& arena = tensor::WorkspaceArena::ThreadLocal();
+  std::printf("arena: %zu pooled nodes, %llu reuses / %llu allocations\n",
+              arena.pool_size(), static_cast<unsigned long long>(arena.reuse_count()),
+              static_cast<unsigned long long>(arena.alloc_count()));
+  std::printf("minimum speedup across batch sizes: %.2fx\n", worst_speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fewner
+
+int main(int argc, char** argv) { return fewner::Main(argc, argv); }

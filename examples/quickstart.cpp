@@ -10,6 +10,7 @@
 #include "eval/evaluator.h"
 #include "eval/experiment.h"
 #include "eval/reporting.h"
+#include "meta/adapted_tagger.h"
 #include "meta/fewner.h"
 #include "nn/serialization.h"
 #include "text/bio.h"
@@ -80,8 +81,24 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  // 4. Persist θ_Meta (Algorithm 1's training output) for later adaptation.
+  // 4. Serve the adapted model.  AdaptedTagger freezes (θ_Meta, φ*) into a
+  //    snapshot whose Tag() runs on the graph-free eval fast path: no autodiff
+  //    bookkeeping, buffers recycled from a per-thread arena.  This is the
+  //    type to hold on to when tagging a stream of sentences for one task.
   auto* fewner_method = static_cast<meta::Fewner*>(method.get());
+  meta::AdaptedTagger tagger(fewner_method, enc);
+  size_t entity_tokens = 0, total_tokens = 0;
+  for (const auto& sentence : enc.query) {
+    for (int64_t tag : tagger.Tag(sentence)) {
+      total_tokens += 1;
+      if (tag != text::kOutsideTag) entity_tokens += 1;
+    }
+  }
+  std::cout << "\nAdaptedTagger served " << enc.query.size()
+            << " query sentences graph-free: " << entity_tokens << "/"
+            << total_tokens << " tokens tagged as entities\n";
+
+  // 5. Persist θ_Meta (Algorithm 1's training output) for later adaptation.
   const std::string checkpoint = "/tmp/fewner_quickstart.ckpt";
   util::Status save_status =
       nn::SaveParameters(fewner_method->backbone(), checkpoint);

@@ -125,16 +125,20 @@ std::vector<int64_t> LinearChainCrf::Viterbi(const Tensor& emissions,
   const auto& start = start_.data();
   const auto& end = end_.data();
 
+  // Two reusable score rows and one flat [L, Y] backpointer table: three
+  // allocations total, independent of sentence length, instead of one
+  // inner vector per timestep.  The float recurrence is untouched — the
+  // brute-force property test in tests/crf_test.cc pins its results.
   std::vector<float> score(static_cast<size_t>(y), kInvalidScore);
-  std::vector<std::vector<int64_t>> backptr(
-      static_cast<size_t>(length), std::vector<int64_t>(static_cast<size_t>(y), -1));
+  std::vector<float> next(static_cast<size_t>(y));
+  std::vector<int64_t> backptr(static_cast<size_t>(length * y), -1);
 
   for (int64_t j = 0; j < y; ++j) {
     if (is_valid(j)) score[static_cast<size_t>(j)] = start[static_cast<size_t>(j)] +
                                                      emit[static_cast<size_t>(j)];
   }
   for (int64_t t = 1; t < length; ++t) {
-    std::vector<float> next(static_cast<size_t>(y), kInvalidScore);
+    std::fill(next.begin(), next.end(), kInvalidScore);
     for (int64_t j = 0; j < y; ++j) {
       if (!is_valid(j)) continue;
       float best = kInvalidScore * 2;
@@ -149,9 +153,9 @@ std::vector<int64_t> LinearChainCrf::Viterbi(const Tensor& emissions,
         }
       }
       next[static_cast<size_t>(j)] = best + emit[static_cast<size_t>(t * y + j)];
-      backptr[static_cast<size_t>(t)][static_cast<size_t>(j)] = best_from;
+      backptr[static_cast<size_t>(t * y + j)] = best_from;
     }
-    score = std::move(next);
+    score.swap(next);
   }
 
   float best_final = kInvalidScore * 2;
@@ -168,7 +172,7 @@ std::vector<int64_t> LinearChainCrf::Viterbi(const Tensor& emissions,
   std::vector<int64_t> path(static_cast<size_t>(length));
   path[static_cast<size_t>(length - 1)] = best_tag;
   for (int64_t t = length - 1; t > 0; --t) {
-    best_tag = backptr[static_cast<size_t>(t)][static_cast<size_t>(best_tag)];
+    best_tag = backptr[static_cast<size_t>(t * y + best_tag)];
     path[static_cast<size_t>(t - 1)] = best_tag;
   }
   return path;

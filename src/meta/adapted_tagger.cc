@@ -1,0 +1,46 @@
+#include "meta/adapted_tagger.h"
+
+#include "meta/fewner.h"
+#include "tensor/eval_mode.h"
+
+namespace fewner::meta {
+
+AdaptedTagger::AdaptedTagger(models::Backbone* backbone,
+                             const std::vector<models::EncodedSentence>& support,
+                             std::vector<bool> valid_tags, int64_t inner_steps,
+                             float inner_lr)
+    : backbone_(backbone), valid_tags_(std::move(valid_tags)) {
+  FEWNER_CHECK(backbone != nullptr, "AdaptedTagger needs a backbone");
+  // Dropout off + deterministic forward, for adaptation and serving alike.
+  backbone->SetTraining(false);
+  // The inner loop differentiates the support loss w.r.t. φ, so it must run
+  // in graph mode — this is the one-off cost the snapshot amortizes away.
+  tensor::Tensor phi =
+      Fewner::AdaptContextOn(*backbone, support, valid_tags_, inner_steps,
+                             inner_lr, /*create_graph=*/false);
+  phi_ = phi.Detach();  // plain constant: no grad flag, no graph edges
+}
+
+AdaptedTagger::AdaptedTagger(Fewner* method, const models::EncodedEpisode& episode)
+    : AdaptedTagger(method->backbone(), episode.support,
+                    episode.valid_tags, method->test_inner_steps(),
+                    method->inner_lr()) {}
+
+std::vector<int64_t> AdaptedTagger::Tag(
+    const models::EncodedSentence& sentence) const {
+  tensor::EvalMode eval;
+  return backbone_->Decode(sentence, phi_, valid_tags_);
+}
+
+std::vector<std::vector<int64_t>> AdaptedTagger::TagAll(
+    const std::vector<models::EncodedSentence>& sentences) const {
+  tensor::EvalMode eval;
+  std::vector<std::vector<int64_t>> predictions;
+  predictions.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    predictions.push_back(backbone_->Decode(sentence, phi_, valid_tags_));
+  }
+  return predictions;
+}
+
+}  // namespace fewner::meta

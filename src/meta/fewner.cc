@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "meta/adapted_tagger.h"
 #include "meta/grad_accumulator.h"
 #include "meta/parallel.h"
 
@@ -113,16 +114,11 @@ void Fewner::Train(const data::EpisodeSampler& sampler,
 
 std::vector<std::vector<int64_t>> Fewner::AdaptAndPredict(
     const models::EncodedEpisode& episode) {
-  backbone_->SetTraining(false);
   // θ_Meta stays fixed; only φ adapts (Algorithm 1, adapting procedure).
-  Tensor phi = AdaptContext(episode.support, episode.valid_tags, test_inner_steps_,
-                            inner_lr_, /*create_graph=*/false);
-  std::vector<std::vector<int64_t>> predictions;
-  predictions.reserve(episode.query.size());
-  for (const auto& sentence : episode.query) {
-    predictions.push_back(backbone_->Decode(sentence, phi, episode.valid_tags));
-  }
-  return predictions;
+  // The snapshot adapts in graph mode once, then decodes every query sentence
+  // on the graph-free eval path.
+  AdaptedTagger tagger(this, episode);
+  return tagger.TagAll(episode.query);
 }
 
 }  // namespace fewner::meta

@@ -1,5 +1,6 @@
 #include "models/backbone.h"
 
+#include "tensor/eval_mode.h"
 #include "tensor/ops.h"
 
 namespace fewner::models {
@@ -131,7 +132,11 @@ Tensor Backbone::BatchLoss(const std::vector<EncodedSentence>& sentences,
 std::vector<int64_t> Backbone::Decode(const EncodedSentence& sentence,
                                       const Tensor& phi,
                                       const std::vector<bool>& valid_tags) const {
-  return crf_->Viterbi(Emissions(sentence, phi).Detach(), &valid_tags);
+  Tensor emissions = Emissions(sentence, phi);
+  // The Detach exists to cut decode out of a live autodiff graph; under
+  // EvalMode no graph was built, so the copy would only burn an allocation.
+  if (!tensor::EvalMode::active()) emissions = emissions.Detach();
+  return crf_->Viterbi(emissions, &valid_tags);
 }
 
 }  // namespace fewner::models

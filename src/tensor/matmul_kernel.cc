@@ -1,0 +1,109 @@
+#include "tensor/matmul_kernel.h"
+
+// Vectorization hint for an inner loop whose iterations are independent.
+// Ordered weakest-assumption first: `omp simd` when the build enables it
+// (-fopenmp-simd, no runtime), otherwise a compiler-specific no-dependence
+// pragma.  None of these permit reassociation of the k accumulation — the
+// bitwise contract in the header depends on that.
+#if defined(FEWNER_HAVE_OMP_SIMD)
+#define FEWNER_SIMD _Pragma("omp simd")
+#elif defined(__clang__)
+#define FEWNER_SIMD _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define FEWNER_SIMD _Pragma("GCC ivdep")
+#else
+#define FEWNER_SIMD
+#endif
+
+namespace fewner::tensor::kernel {
+
+namespace {
+
+constexpr int64_t kRowTile = 4;  ///< A rows per register block
+constexpr int64_t kColTile = 8;  ///< C columns per register block (2 SSE lanes)
+
+/// One MI x kColTile output block: accumulators live in registers across the
+/// whole k loop; each B row is loaded once and reused by all MI A rows.
+template <int MI>
+inline void MicroTile(const float* a, const float* b, float* c, int64_t k,
+                      int64_t n, int64_t j0) {
+  float acc[MI][kColTile] = {};
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * n + j0;
+    for (int ii = 0; ii < MI; ++ii) {
+      const float aik = a[ii * k + kk];
+      FEWNER_SIMD
+      for (int jj = 0; jj < kColTile; ++jj) acc[ii][jj] += aik * brow[jj];
+    }
+  }
+  for (int ii = 0; ii < MI; ++ii) {
+    FEWNER_SIMD
+    for (int jj = 0; jj < kColTile; ++jj) c[ii * n + j0 + jj] = acc[ii][jj];
+  }
+}
+
+/// Remainder columns [j0, n): one scalar accumulator per output element,
+/// still ascending in k.
+template <int MI>
+inline void TailCols(const float* a, const float* b, float* c, int64_t k,
+                     int64_t n, int64_t j0) {
+  for (int ii = 0; ii < MI; ++ii) {
+    for (int64_t j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[ii * k + kk] * b[kk * n + j];
+      c[ii * n + j] = acc;
+    }
+  }
+}
+
+/// MI consecutive rows of C.
+template <int MI>
+void RowBlock(const float* a, const float* b, float* c, int64_t k, int64_t n) {
+  int64_t j = 0;
+  for (; j + kColTile <= n; j += kColTile) MicroTile<MI>(a, b, c, k, n, j);
+  if (j < n) TailCols<MI>(a, b, c, k, n, j);
+}
+
+}  // namespace
+
+void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  int64_t i = 0;
+  for (; i + kRowTile <= m; i += kRowTile) {
+    RowBlock<kRowTile>(a + i * k, b, c + i * n, k, n);
+  }
+  switch (m - i) {
+    case 3:
+      RowBlock<3>(a + i * k, b, c + i * n, k, n);
+      break;
+    case 2:
+      RowBlock<2>(a + i * k, b, c + i * n, k, n);
+      break;
+    case 1:
+      RowBlock<1>(a + i * k, b, c + i * n, k, n);
+      break;
+    default:
+      break;
+  }
+}
+
+void MatMulNaive(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                 int64_t n) {
+  for (int64_t x = 0; x < m * n; ++x) c[x] = 0.0f;
+  // i-k-j order, unit-stride inner loop.  The aik == 0 skip only elides
+  // additions of ±0 products, which never change a (+0-initialized)
+  // accumulator for finite inputs — so this stays bitwise-equal to the
+  // blocked kernel.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      FEWNER_SIMD
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace fewner::tensor::kernel

@@ -1,0 +1,32 @@
+// Single-precision GEMM kernels for the op layer.
+//
+// MatMulBlocked is the production kernel: register-tiled over a 4x8 block of
+// the output so each loaded B row is reused across four A rows and the eight
+// accumulators stay in registers across the whole k loop.  The inner loops
+// carry portable vectorization hints (omp simd when available, compiler-
+// specific pragmas otherwise) and no fast-math assumptions.
+//
+// Bitwise contract: for every output element, partial products are accumulated
+// in ascending k order onto a single accumulator — exactly the sequence the
+// reference i-k-j loop performs — so blocked and naive results are identical
+// to the last bit (0 ULP) for finite inputs, regardless of tile remainders.
+// tests/tensor_test.cc enforces this on non-multiple-of-tile shapes.  Keeping
+// the order fixed is what lets eval mode and graph mode share this kernel
+// while the differential suite demands bitwise equality.
+
+#pragma once
+
+#include <cstdint>
+
+namespace fewner::tensor::kernel {
+
+/// c[m, n] = a[m, k] * b[k, n], row-major, c fully overwritten.
+void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+
+/// Reference scalar i-k-j loop (the pre-tiling implementation).  c is fully
+/// overwritten.  Kept for differential tests and the throughput bench.
+void MatMulNaive(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                 int64_t n);
+
+}  // namespace fewner::tensor::kernel

@@ -1,26 +1,105 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <functional>
+
+#include "tensor/eval_mode.h"
+#include "tensor/matmul_kernel.h"
 
 namespace fewner::tensor {
 
 namespace {
 
-/// Builds an op node.  requires_grad is inherited from any input.
-Tensor MakeOp(const char* op, Shape shape, std::vector<float> values,
-              std::vector<Tensor> inputs, BackwardFn backward) {
-  auto node = std::make_shared<internal::Node>();
-  node->shape = std::move(shape);
-  node->values = std::move(values);
+// Every op is split into the same three phases:
+//   1. NewOutput()  — obtain the output node + buffer.  Graph mode allocates a
+//      fresh node; eval mode recycles one from the thread's WorkspaceArena.
+//   2. the numeric kernel — identical code in both modes, writing through the
+//      raw buffer pointer, which is what makes eval outputs bitwise-equal to
+//      graph outputs (tests/eval_mode_test.cc pins this at 0 ULP).
+//   3. SealEval()/SealGraph() — eval mode returns the bare value; graph mode
+//      wires input edges and the backward closure.  Backward closures are
+//      built by *factories* invoked only in graph mode, so eval mode never
+//      pays for their captures or the std::function allocation.
+
+/// Handle to an op's output node and its destination buffer.
+struct OpOutput {
+  std::shared_ptr<internal::Node> node;
+  float* data() { return node->values.data(); }
+};
+
+/// Output for an op result.  Recycled buffers hold stale values: ops that
+/// accumulate (rather than overwrite every element) pass zero=true.  The
+/// copy-assignment of `shape` into a recycled node reuses the node's dims
+/// capacity, so steady-state eval traffic allocates nothing here.
+OpOutput NewOutput(const char* op, const Shape& shape, bool zero = false) {
+  const size_t n = static_cast<size_t>(shape.numel());
+  std::shared_ptr<internal::Node> node;
+  if (EvalMode::active()) {
+    node = WorkspaceArena::ThreadLocal().Acquire();
+    node->shape = shape;
+  } else {
+    node = std::make_shared<internal::Node>();
+    node->shape = shape;
+  }
   node->op = op;
+  node->leaf = false;
+  node->values.resize(n);
+  if (zero) std::fill(node->values.begin(), node->values.end(), 0.0f);
+  return {std::move(node)};
+}
+
+/// Rvalue form for call sites that build a temporary shape.
+OpOutput NewOutput(const char* op, Shape&& shape, bool zero = false) {
+  const size_t n = static_cast<size_t>(shape.numel());
+  std::shared_ptr<internal::Node> node;
+  if (EvalMode::active()) {
+    node = WorkspaceArena::ThreadLocal().Acquire();
+    node->shape = shape;  // copy keeps the recycled dims capacity alive
+  } else {
+    node = std::make_shared<internal::Node>();
+    node->shape = std::move(shape);
+  }
+  node->op = op;
+  node->leaf = false;
+  node->values.resize(n);
+  if (zero) std::fill(node->values.begin(), node->values.end(), 0.0f);
+  return {std::move(node)};
+}
+
+/// Output whose shape is `base` with one dimension replaced — the common case
+/// for Slice/MaxAxis — built without materializing a temporary dims vector.
+OpOutput NewOutputPatched(const char* op, const Shape& base, int64_t axis,
+                          int64_t dim, bool zero = false) {
+  std::shared_ptr<internal::Node> node;
+  if (EvalMode::active()) {
+    node = WorkspaceArena::ThreadLocal().Acquire();
+  } else {
+    node = std::make_shared<internal::Node>();
+  }
+  node->shape = base;
+  node->shape.set_dim(axis, dim);
+  node->op = op;
+  node->leaf = false;
+  node->values.resize(static_cast<size_t>(node->shape.numel()));
+  if (zero) std::fill(node->values.begin(), node->values.end(), 0.0f);
+  return {std::move(node)};
+}
+
+/// Eval mode: the output is a plain value — no edges, no backward, no grad.
+Tensor SealEval(OpOutput out) {
+  return Tensor::FromRecycledNode(std::move(out.node));
+}
+
+/// Graph mode: requires_grad is inherited from any input.
+Tensor SealGraph(OpOutput out, std::vector<Tensor> inputs, BackwardFn backward) {
   bool rg = false;
   for (const Tensor& in : inputs) rg = rg || in.requires_grad();
-  node->requires_grad = rg;
-  node->inputs = std::move(inputs);
-  if (rg) node->backward = std::move(backward);
-  return Tensor::FromNode(std::move(node));
+  out.node->requires_grad = rg;
+  out.node->inputs = std::move(inputs);
+  if (rg) out.node->backward = std::move(backward);
+  return Tensor::FromNode(std::move(out.node));
 }
 
 /// Maps a flat index in `out_shape` to a flat index in `in_shape`
@@ -56,16 +135,53 @@ struct BroadcastIndexer {
 
 using BinaryFn = float (*)(float, float);
 
-/// Shared implementation for broadcasting elementwise binary ops.
+/// True when `small`'s dims equal the trailing dims of `big` — the layout in
+/// which broadcasting `small` over `big` is a plain cyclic repeat, so the
+/// element mapping is `i % small.numel()` with no per-element index
+/// arithmetic.  Covers the ubiquitous bias-add pattern [L, D] + [D].
+bool IsTrailingShape(const Shape& small, const Shape& big) {
+  const int64_t offset = big.rank() - small.rank();
+  if (offset < 0) return false;
+  for (int64_t i = 0; i < small.rank(); ++i) {
+    if (small.dim(i) != big.dim(i + offset)) return false;
+  }
+  return true;
+}
+
+/// Shared implementation for broadcasting elementwise binary ops.  The
+/// backward factory runs only in graph mode.
+template <typename BackwardFactory>
 Tensor ElementwiseBinary(const char* op, const Tensor& a, const Tensor& b, BinaryFn f,
-                         BackwardFn backward) {
+                         BackwardFactory make_backward) {
   FEWNER_CHECK(a.defined() && b.defined(), op << " on undefined tensor");
   if (a.shape() == b.shape()) {
     const auto& av = a.data();
     const auto& bv = b.data();
-    std::vector<float> out(av.size());
-    for (size_t i = 0; i < av.size(); ++i) out[i] = f(av[i], bv[i]);
-    return MakeOp(op, a.shape(), std::move(out), {a, b}, std::move(backward));
+    OpOutput out = NewOutput(op, a.shape());
+    float* ov = out.data();
+    for (size_t i = 0; i < av.size(); ++i) ov[i] = f(av[i], bv[i]);
+    if (EvalMode::active()) return SealEval(std::move(out));
+    return SealGraph(std::move(out), {a, b}, make_backward());
+  }
+  if (IsTrailingShape(b.shape(), a.shape()) && b.numel() > 0) {
+    const auto& av = a.data();
+    const auto& bv = b.data();
+    const size_t bn = bv.size();
+    OpOutput out = NewOutput(op, a.shape());
+    float* ov = out.data();
+    for (size_t i = 0; i < av.size(); ++i) ov[i] = f(av[i], bv[i % bn]);
+    if (EvalMode::active()) return SealEval(std::move(out));
+    return SealGraph(std::move(out), {a, b}, make_backward());
+  }
+  if (IsTrailingShape(a.shape(), b.shape()) && a.numel() > 0) {
+    const auto& av = a.data();
+    const auto& bv = b.data();
+    const size_t an = av.size();
+    OpOutput out = NewOutput(op, b.shape());
+    float* ov = out.data();
+    for (size_t i = 0; i < bv.size(); ++i) ov[i] = f(av[i % an], bv[i]);
+    if (EvalMode::active()) return SealEval(std::move(out));
+    return SealGraph(std::move(out), {a, b}, make_backward());
   }
   auto result_shape = Shape::Broadcast(a.shape(), b.shape());
   FEWNER_CHECK(result_shape.ok(), op << ": " << result_shape.status().ToString());
@@ -73,26 +189,30 @@ Tensor ElementwiseBinary(const char* op, const Tensor& a, const Tensor& b, Binar
   BroadcastIndexer ia(a.shape(), shape);
   BroadcastIndexer ib(b.shape(), shape);
   const int64_t n = shape.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  OpOutput out = NewOutput(op, std::move(shape));
+  float* ov = out.data();
   const auto& av = a.data();
   const auto& bv = b.data();
   for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(i)] = f(av[static_cast<size_t>(ia.Map(i))],
-                                    bv[static_cast<size_t>(ib.Map(i))]);
+    ov[i] = f(av[static_cast<size_t>(ia.Map(i))], bv[static_cast<size_t>(ib.Map(i))]);
   }
-  return MakeOp(op, std::move(shape), std::move(out), {a, b}, std::move(backward));
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {a, b}, make_backward());
 }
 
 using UnaryFn = float (*)(float);
 
 /// Shared implementation for elementwise unary ops.
+template <typename BackwardFactory>
 Tensor ElementwiseUnary(const char* op, const Tensor& t, UnaryFn f,
-                        BackwardFn backward) {
+                        BackwardFactory make_backward) {
   FEWNER_CHECK(t.defined(), op << " on undefined tensor");
   const auto& tv = t.data();
-  std::vector<float> out(tv.size());
-  for (size_t i = 0; i < tv.size(); ++i) out[i] = f(tv[i]);
-  return MakeOp(op, t.shape(), std::move(out), {t}, std::move(backward));
+  OpOutput out = NewOutput(op, t.shape());
+  float* ov = out.data();
+  for (size_t i = 0; i < tv.size(); ++i) ov[i] = f(tv[i]);
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t}, make_backward());
 }
 
 }  // namespace
@@ -100,40 +220,52 @@ Tensor ElementwiseUnary(const char* op, const Tensor& t, UnaryFn f,
 // ----- elementwise binary -----
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  Shape sa = a.shape(), sb = b.shape();
   return ElementwiseBinary(
       "add", a, b, [](float x, float y) { return x + y; },
-      [sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
-        return {SumTo(grad, sa), SumTo(grad, sb)};
+      [&]() -> BackwardFn {
+        Shape sa = a.shape(), sb = b.shape();
+        return [sa, sb](const Tensor& /*self*/,
+                        const Tensor& grad) -> std::vector<Tensor> {
+          return {SumTo(grad, sa), SumTo(grad, sb)};
+        };
       });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  Shape sa = a.shape(), sb = b.shape();
   return ElementwiseBinary(
       "sub", a, b, [](float x, float y) { return x - y; },
-      [sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
-        return {SumTo(grad, sa), SumTo(Neg(grad), sb)};
+      [&]() -> BackwardFn {
+        Shape sa = a.shape(), sb = b.shape();
+        return [sa, sb](const Tensor& /*self*/,
+                        const Tensor& grad) -> std::vector<Tensor> {
+          return {SumTo(grad, sa), SumTo(Neg(grad), sb)};
+        };
       });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  Shape sa = a.shape(), sb = b.shape();
   return ElementwiseBinary(
       "mul", a, b, [](float x, float y) { return x * y; },
-      [a, b, sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
-        return {SumTo(Mul(grad, b), sa), SumTo(Mul(grad, a), sb)};
+      [&]() -> BackwardFn {
+        Shape sa = a.shape(), sb = b.shape();
+        return [a, b, sa, sb](const Tensor& /*self*/,
+                              const Tensor& grad) -> std::vector<Tensor> {
+          return {SumTo(Mul(grad, b), sa), SumTo(Mul(grad, a), sb)};
+        };
       });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  Shape sa = a.shape(), sb = b.shape();
   return ElementwiseBinary(
       "div", a, b, [](float x, float y) { return x / y; },
-      [a, b, sa, sb](const Tensor& /*self*/, const Tensor& grad) -> std::vector<Tensor> {
-        Tensor ga = SumTo(Div(grad, b), sa);
-        Tensor gb = SumTo(Neg(Div(Mul(grad, a), Mul(b, b))), sb);
-        return {ga, gb};
+      [&]() -> BackwardFn {
+        Shape sa = a.shape(), sb = b.shape();
+        return [a, b, sa, sb](const Tensor& /*self*/,
+                              const Tensor& grad) -> std::vector<Tensor> {
+          Tensor ga = SumTo(Div(grad, b), sa);
+          Tensor gb = SumTo(Neg(Div(Mul(grad, a), Mul(b, b))), sb);
+          return {ga, gb};
+        };
       });
 }
 
@@ -142,64 +274,80 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 Tensor Neg(const Tensor& t) {
   return ElementwiseUnary(
       "neg", t, [](float x) { return -x; },
-      [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-        return {Neg(grad)};
+      []() -> BackwardFn {
+        return [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+          return {Neg(grad)};
+        };
       });
 }
 
 Tensor Sigmoid(const Tensor& t) {
   return ElementwiseUnary(
       "sigmoid", t, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
-        // d/dx sigmoid = y * (1 - y), with y the op output (still in-graph).
-        Tensor one_minus = AddScalar(Neg(self), 1.0f);
-        return {Mul(grad, Mul(self, one_minus))};
+      []() -> BackwardFn {
+        return [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+          // d/dx sigmoid = y * (1 - y), with y the op output (still in-graph).
+          Tensor one_minus = AddScalar(Neg(self), 1.0f);
+          return {Mul(grad, Mul(self, one_minus))};
+        };
       });
 }
 
 Tensor Tanh(const Tensor& t) {
   return ElementwiseUnary(
       "tanh", t, [](float x) { return std::tanh(x); },
-      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
-        return {Mul(grad, AddScalar(Neg(Mul(self, self)), 1.0f))};
+      []() -> BackwardFn {
+        return [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+          return {Mul(grad, AddScalar(Neg(Mul(self, self)), 1.0f))};
+        };
       });
 }
 
 Tensor Relu(const Tensor& t) {
-  // The 0/1 mask is a local constant of the input sign pattern; its own
-  // derivative is zero a.e., so a constant tensor is the right backward here
-  // even under create_graph.
-  std::vector<float> mask(t.data().size());
-  for (size_t i = 0; i < mask.size(); ++i) mask[i] = t.data()[i] > 0.0f ? 1.0f : 0.0f;
-  Tensor mask_t = Tensor::FromData(t.shape(), std::move(mask));
   return ElementwiseUnary(
       "relu", t, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [mask_t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-        return {Mul(grad, mask_t)};
+      [&]() -> BackwardFn {
+        // The 0/1 mask is a local constant of the input sign pattern; its own
+        // derivative is zero a.e., so a constant tensor is the right backward
+        // here even under create_graph.
+        std::vector<float> mask(t.data().size());
+        for (size_t i = 0; i < mask.size(); ++i) {
+          mask[i] = t.data()[i] > 0.0f ? 1.0f : 0.0f;
+        }
+        Tensor mask_t = Tensor::FromData(t.shape(), std::move(mask));
+        return [mask_t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+          return {Mul(grad, mask_t)};
+        };
       });
 }
 
 Tensor Exp(const Tensor& t) {
   return ElementwiseUnary(
       "exp", t, [](float x) { return std::exp(x); },
-      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
-        return {Mul(grad, self)};
+      []() -> BackwardFn {
+        return [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+          return {Mul(grad, self)};
+        };
       });
 }
 
 Tensor Log(const Tensor& t) {
   return ElementwiseUnary(
       "log", t, [](float x) { return std::log(x); },
-      [t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-        return {Div(grad, t)};
+      [&]() -> BackwardFn {
+        return [t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+          return {Div(grad, t)};
+        };
       });
 }
 
 Tensor Sqrt(const Tensor& t) {
   return ElementwiseUnary(
       "sqrt", t, [](float x) { return std::sqrt(x); },
-      [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
-        return {Div(MulScalar(grad, 0.5f), self)};
+      []() -> BackwardFn {
+        return [](const Tensor& self, const Tensor& grad) -> std::vector<Tensor> {
+          return {Div(MulScalar(grad, 0.5f), self)};
+        };
       });
 }
 
@@ -208,21 +356,29 @@ Tensor Square(const Tensor& t) { return Mul(t, t); }
 // ----- scalar forms -----
 
 Tensor AddScalar(const Tensor& t, float c) {
-  std::vector<float> out(t.data());
-  for (float& v : out) v += c;
-  return MakeOp("add_scalar", t.shape(), std::move(out), {t},
-                [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {grad};
-                });
+  FEWNER_CHECK(t.defined(), "add_scalar on undefined tensor");
+  const auto& tv = t.data();
+  OpOutput out = NewOutput("add_scalar", t.shape());
+  float* ov = out.data();
+  for (size_t i = 0; i < tv.size(); ++i) ov[i] = tv[i] + c;
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {grad};
+                   });
 }
 
 Tensor MulScalar(const Tensor& t, float c) {
-  std::vector<float> out(t.data());
-  for (float& v : out) v *= c;
-  return MakeOp("mul_scalar", t.shape(), std::move(out), {t},
-                [c](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {MulScalar(grad, c)};
-                });
+  FEWNER_CHECK(t.defined(), "mul_scalar on undefined tensor");
+  const auto& tv = t.data();
+  OpOutput out = NewOutput("mul_scalar", t.shape());
+  float* ov = out.data();
+  for (size_t i = 0; i < tv.size(); ++i) ov[i] = tv[i] * c;
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [c](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {MulScalar(grad, c)};
+                   });
 }
 
 // ----- shape manipulation -----
@@ -230,28 +386,34 @@ Tensor MulScalar(const Tensor& t, float c) {
 Tensor Reshape(const Tensor& t, Shape shape) {
   FEWNER_CHECK(shape.numel() == t.numel(), "Reshape " << t.shape().ToString() << " -> "
                                                       << shape.ToString());
+  const auto& tv = t.data();
+  OpOutput out = NewOutput("reshape", std::move(shape));
+  if (!tv.empty()) std::memcpy(out.data(), tv.data(), tv.size() * sizeof(float));
+  if (EvalMode::active()) return SealEval(std::move(out));
   Shape original = t.shape();
-  return MakeOp("reshape", std::move(shape), t.data(), {t},
-                [original](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {Reshape(grad, original)};
-                });
+  return SealGraph(std::move(out), {t},
+                   [original](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {Reshape(grad, original)};
+                   });
 }
 
 Tensor Transpose(const Tensor& t) {
   FEWNER_CHECK(t.rank() == 2, "Transpose requires rank 2, got " << t.shape().ToString());
   const int64_t m = t.shape().dim(0);
   const int64_t n = t.shape().dim(1);
-  std::vector<float> out(static_cast<size_t>(m * n));
-  const auto& tv = t.data();
+  OpOutput out = NewOutput("transpose", Shape{n, m});
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
-      out[static_cast<size_t>(j * m + i)] = tv[static_cast<size_t>(i * n + j)];
+      ov[j * m + i] = tv[i * n + j];
     }
   }
-  return MakeOp("transpose", Shape{n, m}, std::move(out), {t},
-                [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {Transpose(grad)};
-                });
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {Transpose(grad)};
+                   });
 }
 
 Tensor BroadcastTo(const Tensor& t, Shape shape) {
@@ -260,16 +422,18 @@ Tensor BroadcastTo(const Tensor& t, Shape shape) {
                "BroadcastTo " << t.shape().ToString() << " -> " << shape.ToString());
   BroadcastIndexer indexer(t.shape(), shape);
   const int64_t n = shape.numel();
-  std::vector<float> out(static_cast<size_t>(n));
-  const auto& tv = t.data();
+  OpOutput out = NewOutput("broadcast_to", std::move(shape));
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(i)] = tv[static_cast<size_t>(indexer.Map(i))];
+    ov[i] = tv[indexer.Map(i)];
   }
+  if (EvalMode::active()) return SealEval(std::move(out));
   Shape in_shape = t.shape();
-  return MakeOp("broadcast_to", std::move(shape), std::move(out), {t},
-                [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {SumTo(grad, in_shape)};
-                });
+  return SealGraph(std::move(out), {t},
+                   [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {SumTo(grad, in_shape)};
+                   });
 }
 
 Tensor SumTo(const Tensor& t, Shape shape) {
@@ -278,16 +442,18 @@ Tensor SumTo(const Tensor& t, Shape shape) {
                "SumTo " << t.shape().ToString() << " -> " << shape.ToString());
   BroadcastIndexer indexer(shape, t.shape());
   const int64_t n = t.numel();
-  std::vector<float> out(static_cast<size_t>(shape.numel()), 0.0f);
-  const auto& tv = t.data();
+  OpOutput out = NewOutput("sum_to", std::move(shape), /*zero=*/true);
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(indexer.Map(i))] += tv[static_cast<size_t>(i)];
+    ov[indexer.Map(i)] += tv[i];
   }
+  if (EvalMode::active()) return SealEval(std::move(out));
   Shape in_shape = t.shape();
-  return MakeOp("sum_to", std::move(shape), std::move(out), {t},
-                [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {BroadcastTo(grad, in_shape)};
-                });
+  return SealGraph(std::move(out), {t},
+                   [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {BroadcastTo(grad, in_shape)};
+                   });
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
@@ -316,33 +482,34 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
   for (int64_t d = 0; d < axis; ++d) outer *= first.dim(d);
   for (int64_t d = axis + 1; d < first.rank(); ++d) inner *= first.dim(d);
 
-  std::vector<float> out(static_cast<size_t>(out_shape.numel()));
+  OpOutput out = NewOutput("concat", std::move(out_shape));
+  float* ov = out.data();
   int64_t offset = 0;  // running position along the concat axis
   for (const Tensor& t : tensors) {
     const int64_t ta = t.shape().dim(axis);
-    const auto& tv = t.data();
+    const float* tv = t.data().data();
     for (int64_t o = 0; o < outer; ++o) {
-      std::memcpy(&out[static_cast<size_t>((o * axis_total + offset) * inner)],
-                  &tv[static_cast<size_t>(o * ta * inner)],
+      std::memcpy(ov + (o * axis_total + offset) * inner, tv + o * ta * inner,
                   static_cast<size_t>(ta * inner) * sizeof(float));
     }
     offset += ta;
   }
+  if (EvalMode::active()) return SealEval(std::move(out));
 
   std::vector<int64_t> sizes;
   sizes.reserve(tensors.size());
   for (const Tensor& t : tensors) sizes.push_back(t.shape().dim(axis));
-  return MakeOp("concat", std::move(out_shape), std::move(out), tensors,
-                [axis, sizes](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  std::vector<Tensor> grads;
-                  grads.reserve(sizes.size());
-                  int64_t start = 0;
-                  for (int64_t size : sizes) {
-                    grads.push_back(Slice(grad, axis, start, size));
-                    start += size;
-                  }
-                  return grads;
-                });
+  return SealGraph(std::move(out), tensors,
+                   [axis, sizes](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     std::vector<Tensor> grads;
+                     grads.reserve(sizes.size());
+                     int64_t start = 0;
+                     for (int64_t size : sizes) {
+                       grads.push_back(Slice(grad, axis, start, size));
+                       start += size;
+                     }
+                     return grads;
+                   });
 }
 
 Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
@@ -356,16 +523,14 @@ Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
   for (int64_t d = axis + 1; d < shape.rank(); ++d) inner *= shape.dim(d);
   const int64_t axis_size = shape.dim(axis);
 
-  std::vector<int64_t> out_dims = shape.dims();
-  out_dims[static_cast<size_t>(axis)] = length;
-  Shape out_shape{std::vector<int64_t>(out_dims)};
-  std::vector<float> out(static_cast<size_t>(out_shape.numel()));
-  const auto& tv = t.data();
+  OpOutput out = NewOutputPatched("slice", shape, axis, length);
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (int64_t o = 0; o < outer; ++o) {
-    std::memcpy(&out[static_cast<size_t>(o * length * inner)],
-                &tv[static_cast<size_t>((o * axis_size + start) * inner)],
+    std::memcpy(ov + o * length * inner, tv + (o * axis_size + start) * inner,
                 static_cast<size_t>(length * inner) * sizeof(float));
   }
+  if (EvalMode::active()) return SealEval(std::move(out));
 
   // Backward pads the gradient back to the input extent with zero blocks; the
   // zero constants carry no higher-order terms, which is exact for slicing.
@@ -375,8 +540,8 @@ Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
   after_dims[static_cast<size_t>(axis)] = axis_size - start - length;
   Shape before_shape{std::vector<int64_t>(before_dims)};
   Shape after_shape{std::vector<int64_t>(after_dims)};
-  return MakeOp(
-      "slice", std::move(out_shape), std::move(out), {t},
+  return SealGraph(
+      std::move(out), {t},
       [axis, before_shape, after_shape](const Tensor&,
                                         const Tensor& grad) -> std::vector<Tensor> {
         std::vector<Tensor> pieces;
@@ -392,11 +557,14 @@ Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
 Tensor SumAll(const Tensor& t) {
   double total = 0.0;
   for (float v : t.data()) total += v;
+  OpOutput out = NewOutput("sum_all", Shape{});
+  out.data()[0] = static_cast<float>(total);
+  if (EvalMode::active()) return SealEval(std::move(out));
   Shape in_shape = t.shape();
-  return MakeOp("sum_all", Shape{}, {static_cast<float>(total)}, {t},
-                [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {BroadcastTo(grad, in_shape)};
-                });
+  return SealGraph(std::move(out), {t},
+                   [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {BroadcastTo(grad, in_shape)};
+                   });
 }
 
 Tensor SumAxis(const Tensor& t, int64_t axis, bool keepdim) {
@@ -427,14 +595,14 @@ Tensor MaxAxis(const Tensor& t, int64_t axis, bool keepdim) {
   const int64_t axis_size = shape.dim(axis);
   FEWNER_CHECK(axis_size > 0, "MaxAxis over empty axis");
 
-  std::vector<int64_t> keep_dims = shape.dims();
-  keep_dims[static_cast<size_t>(axis)] = 1;
-  Shape keep_shape{std::vector<int64_t>(keep_dims)};
-
+  const bool graph = !EvalMode::active();
   const auto& tv = t.data();
-  std::vector<float> out(static_cast<size_t>(outer * inner));
+  OpOutput out = NewOutputPatched("max_axis", shape, axis, 1);
+  float* ov = out.data();
   // One-hot selection mask: locally constant, exact a.e. under create_graph.
-  std::vector<float> mask(tv.size(), 0.0f);
+  // Only the graph mode backward needs it.
+  std::vector<float> mask;
+  if (graph) mask.assign(tv.size(), 0.0f);
   for (int64_t o = 0; o < outer; ++o) {
     for (int64_t i = 0; i < inner; ++i) {
       int64_t best = 0;
@@ -446,19 +614,25 @@ Tensor MaxAxis(const Tensor& t, int64_t axis, bool keepdim) {
           best = a;
         }
       }
-      out[static_cast<size_t>(o * inner + i)] = best_v;
-      mask[static_cast<size_t>((o * axis_size + best) * inner + i)] = 1.0f;
+      ov[o * inner + i] = best_v;
+      if (graph) mask[static_cast<size_t>((o * axis_size + best) * inner + i)] = 1.0f;
     }
   }
-  Tensor mask_t = Tensor::FromData(shape, std::move(mask));
-  Shape in_shape = shape;
-  Tensor result = MakeOp(
-      "max_axis", keep_shape, std::move(out), {t},
-      [mask_t, keep_shape, in_shape](const Tensor&,
-                                     const Tensor& grad) -> std::vector<Tensor> {
-        Tensor g = Reshape(grad, keep_shape);
-        return {Mul(BroadcastTo(g, in_shape), mask_t)};
-      });
+  Tensor result;
+  if (graph) {
+    Shape keep_shape = out.node->shape;
+    Tensor mask_t = Tensor::FromData(shape, std::move(mask));
+    Shape in_shape = shape;
+    result = SealGraph(
+        std::move(out), {t},
+        [mask_t, keep_shape, in_shape](const Tensor&,
+                                       const Tensor& grad) -> std::vector<Tensor> {
+          Tensor g = Reshape(grad, keep_shape);
+          return {Mul(BroadcastTo(g, in_shape), mask_t)};
+        });
+  } else {
+    result = SealEval(std::move(out));
+  }
   if (keepdim) return result;
   std::vector<int64_t> out_dims;
   for (int64_t d = 0; d < shape.rank(); ++d) {
@@ -479,23 +653,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   FEWNER_CHECK(b.shape().dim(0) == k, "MatMul inner dim mismatch: "
                                           << a.shape().ToString() << " x "
                                           << b.shape().ToString());
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  // i-k-j loop order: unit-stride inner loop over the output row.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = av[static_cast<size_t>(i * k + kk)];
-      if (aik == 0.0f) continue;
-      const float* brow = &bv[static_cast<size_t>(kk * n)];
-      float* orow = &out[static_cast<size_t>(i * n)];
-      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
-  return MakeOp("matmul", Shape{m, n}, std::move(out), {a, b},
-                [a, b](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {MatMul(grad, Transpose(b)), MatMul(Transpose(a), grad)};
-                });
+  OpOutput out = NewOutput("matmul", Shape{m, n});
+  // The register-tiled kernel serves graph and eval mode alike, so training
+  // forwards take the same fast path as serving.
+  kernel::MatMulBlocked(a.data().data(), b.data().data(), out.data(), m, k, n);
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {a, b},
+                   [a, b](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {MatMul(grad, Transpose(b)), MatMul(Transpose(a), grad)};
+                   });
 }
 
 // ----- gather / scatter -----
@@ -504,21 +670,23 @@ Tensor IndexSelectRows(const Tensor& t, const std::vector<int64_t>& indices) {
   FEWNER_CHECK(t.rank() == 2, "IndexSelectRows requires rank 2");
   const int64_t v = t.shape().dim(0);
   const int64_t d = t.shape().dim(1);
-  std::vector<float> out(indices.size() * static_cast<size_t>(d));
-  const auto& tv = t.data();
+  OpOutput out = NewOutput("index_select_rows",
+                           Shape{static_cast<int64_t>(indices.size()), d});
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t row = indices[i];
     FEWNER_CHECK(row >= 0 && row < v, "IndexSelectRows index " << row << " out of [0, "
                                                                << v << ")");
-    std::memcpy(&out[i * static_cast<size_t>(d)], &tv[static_cast<size_t>(row * d)],
+    std::memcpy(ov + i * static_cast<size_t>(d), tv + row * d,
                 static_cast<size_t>(d) * sizeof(float));
   }
+  if (EvalMode::active()) return SealEval(std::move(out));
   std::vector<int64_t> idx = indices;
-  return MakeOp("index_select_rows",
-                Shape{static_cast<int64_t>(indices.size()), d}, std::move(out), {t},
-                [idx, v](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {ScatterAddRows(grad, idx, v)};
-                });
+  return SealGraph(std::move(out), {t},
+                   [idx, v](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {ScatterAddRows(grad, idx, v)};
+                   });
 }
 
 Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
@@ -528,21 +696,22 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
                "ScatterAddRows: " << indices.size() << " indices for "
                                   << src.shape().dim(0) << " rows");
   const int64_t d = src.shape().dim(1);
-  std::vector<float> out(static_cast<size_t>(num_rows * d), 0.0f);
-  const auto& sv = src.data();
+  OpOutput out = NewOutput("scatter_add_rows", Shape{num_rows, d}, /*zero=*/true);
+  float* ov = out.data();
+  const float* sv = src.data().data();
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t row = indices[i];
     FEWNER_CHECK(row >= 0 && row < num_rows, "ScatterAddRows index out of range");
     for (int64_t j = 0; j < d; ++j) {
-      out[static_cast<size_t>(row * d + j)] += sv[i * static_cast<size_t>(d) +
-                                                  static_cast<size_t>(j)];
+      ov[row * d + j] += sv[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
     }
   }
+  if (EvalMode::active()) return SealEval(std::move(out));
   std::vector<int64_t> idx = indices;
-  return MakeOp("scatter_add_rows", Shape{num_rows, d}, std::move(out), {src},
-                [idx](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {IndexSelectRows(grad, idx)};
-                });
+  return SealGraph(std::move(out), {src},
+                   [idx](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {IndexSelectRows(grad, idx)};
+                   });
 }
 
 Tensor Unfold1d(const Tensor& t, int64_t window) {
@@ -552,17 +721,18 @@ Tensor Unfold1d(const Tensor& t, int64_t window) {
   FEWNER_CHECK(window >= 1 && window <= length,
                "Unfold1d window " << window << " for length " << length);
   const int64_t m = length - window + 1;
-  std::vector<float> out(static_cast<size_t>(m * window * d));
-  const auto& tv = t.data();
+  OpOutput out = NewOutput("unfold1d", Shape{m, window * d});
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (int64_t i = 0; i < m; ++i) {
-    std::memcpy(&out[static_cast<size_t>(i * window * d)],
-                &tv[static_cast<size_t>(i * d)],
+    std::memcpy(ov + i * window * d, tv + i * d,
                 static_cast<size_t>(window * d) * sizeof(float));
   }
-  return MakeOp("unfold1d", Shape{m, window * d}, std::move(out), {t},
-                [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {Fold1d(grad, window)};
-                });
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {Fold1d(grad, window)};
+                   });
 }
 
 Tensor Fold1d(const Tensor& t, int64_t window) {
@@ -573,20 +743,21 @@ Tensor Fold1d(const Tensor& t, int64_t window) {
                "Fold1d: window " << window << " does not divide row size " << wd);
   const int64_t d = wd / window;
   const int64_t length = m + window - 1;
-  std::vector<float> out(static_cast<size_t>(length * d), 0.0f);
-  const auto& tv = t.data();
+  OpOutput out = NewOutput("fold1d", Shape{length, d}, /*zero=*/true);
+  float* ov = out.data();
+  const float* tv = t.data().data();
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t w = 0; w < window; ++w) {
       for (int64_t j = 0; j < d; ++j) {
-        out[static_cast<size_t>((i + w) * d + j)] +=
-            tv[static_cast<size_t>(i * wd + w * d + j)];
+        ov[(i + w) * d + j] += tv[i * wd + w * d + j];
       }
     }
   }
-  return MakeOp("fold1d", Shape{length, d}, std::move(out), {t},
-                [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                  return {Unfold1d(grad, window)};
-                });
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {Unfold1d(grad, window)};
+                   });
 }
 
 // ----- composites -----
@@ -595,7 +766,8 @@ Tensor LogSumExpLastDim(const Tensor& t) {
   const int64_t axis = t.rank() - 1;
   FEWNER_CHECK(axis >= 0, "LogSumExpLastDim on a scalar");
   // Detached max shift: constant w.r.t. differentiation, exact for stability.
-  Tensor m = MaxAxis(t, axis, /*keepdim=*/true).Detach();
+  Tensor m = MaxAxis(t, axis, /*keepdim=*/true);
+  if (!EvalMode::active()) m = m.Detach();
   Tensor shifted = Sub(t, BroadcastTo(m, t.shape()));
   Tensor lse = Log(SumAxis(Exp(shifted), axis, /*keepdim=*/true));
   return Add(lse, m);

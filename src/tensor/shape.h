@@ -23,6 +23,10 @@ class Shape {
   int64_t dim(int64_t i) const { return dims_[static_cast<size_t>(i)]; }
   const std::vector<int64_t>& dims() const { return dims_; }
 
+  /// Overwrites one dimension in place.  Lets the op layer derive an output
+  /// shape from an input shape without allocating a fresh dims vector.
+  void set_dim(int64_t i, int64_t value) { dims_[static_cast<size_t>(i)] = value; }
+
   /// Total number of elements (1 for scalars).
   int64_t numel() const {
     int64_t n = 1;

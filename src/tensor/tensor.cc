@@ -54,7 +54,9 @@ const std::vector<float>& Tensor::data() const {
 
 std::vector<float>* Tensor::mutable_data() {
   FEWNER_CHECK(defined(), "mutable_data() on undefined tensor");
-  FEWNER_CHECK(node_->inputs.empty(),
+  // inputs.empty() alone is not enough: eval-mode op outputs drop their input
+  // edges but remain op results whose buffers the WorkspaceArena may recycle.
+  FEWNER_CHECK(node_->inputs.empty() && node_->leaf,
                "mutable_data() is only valid on leaf tensors (op: " << node_->op << ")");
   return &node_->values;
 }
@@ -78,7 +80,8 @@ Tensor Tensor::Detach() const {
 
 void Tensor::set_requires_grad(bool value) {
   FEWNER_CHECK(defined(), "set_requires_grad on undefined tensor");
-  FEWNER_CHECK(node_->inputs.empty(), "set_requires_grad is only valid on leaves");
+  FEWNER_CHECK(node_->inputs.empty() && node_->leaf,
+               "set_requires_grad is only valid on leaves");
   node_->requires_grad = value;
 }
 

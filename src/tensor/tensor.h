@@ -32,6 +32,10 @@ struct Node {
   Shape shape;
   std::vector<float> values;
   bool requires_grad = false;
+  /// True for user-created leaves (FromData/Detach), false for op outputs.
+  /// Eval-mode op outputs carry no input edges, so `inputs.empty()` alone
+  /// cannot tell a leaf from an op result; this flag can.
+  bool leaf = true;
   const char* op = "leaf";
   std::vector<Tensor> inputs;
   BackwardFn backward;
@@ -70,6 +74,13 @@ class Tensor {
   /// Internal: wraps an op result node.
   static Tensor FromNode(std::shared_ptr<internal::Node> node);
 
+  /// Internal: wraps an eval-mode op result without assigning a fresh node id.
+  /// Eval outputs never join an autodiff traversal, the id's only consumer,
+  /// and skipping the atomic counter keeps the fast path contention-free.
+  static Tensor FromRecycledNode(std::shared_ptr<internal::Node> node) {
+    return Tensor(std::move(node));
+  }
+
   bool defined() const { return node_ != nullptr; }
 
   const Shape& shape() const;
@@ -79,9 +90,10 @@ class Tensor {
   /// Read-only access to the flat row-major values.
   const std::vector<float>& data() const;
 
-  /// Mutable access; only valid for leaves (no inputs), since op outputs are
-  /// conceptually immutable once consumed.  Used by optimizers for in-place
-  /// parameter updates.
+  /// Mutable access; only valid for leaves, since op outputs are conceptually
+  /// immutable once consumed (and, in eval mode, physically recycled).  Used
+  /// by optimizers for in-place parameter updates.  Checked: calling this on
+  /// an op output aborts, in graph mode and eval mode alike.
   std::vector<float>* mutable_data();
 
   /// Value of a rank-0 / single-element tensor.

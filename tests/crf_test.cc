@@ -213,5 +213,65 @@ TEST(CrfEdgeTest, SecondOrderThroughNll) {
   EXPECT_GT(norm, 1e-6);  // non-degenerate second-order signal
 }
 
+TEST(CrfPropertyTest, ViterbiMatchesBruteForceOnRandomInstances) {
+  // 200 random (T, N, params, emissions) instances, T <= 6 and N <= 4 so the
+  // N^T enumeration stays cheap; every third instance also draws a random
+  // valid-tag mask.  Viterbi must return exactly the enumeration argmax.
+  // Ties are broken toward the lexicographically... in practice Gaussian
+  // scores never tie, so we simply require the scores to match and, when the
+  // brute-force argmax is unique, the paths too.
+  util::Rng rng(2024);
+  for (int instance = 0; instance < 200; ++instance) {
+    const int64_t num_tags = 1 + static_cast<int64_t>(rng.UniformInt(4));  // 1..4
+    const int64_t length = 1 + static_cast<int64_t>(rng.UniformInt(6));    // 1..6
+    LinearChainCrf crf(num_tags);
+    for (tensor::Tensor* p : crf.Parameters()) {
+      for (float& v : *p->mutable_data()) {
+        v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+      }
+    }
+    Tensor emissions = Tensor::Randn(Shape{length, num_tags}, &rng, 1.0f);
+
+    std::vector<bool> valid(static_cast<size_t>(num_tags), true);
+    bool masked = instance % 3 == 0 && num_tags > 1;
+    if (masked) {
+      // Random mask with at least one valid tag.
+      bool any = false;
+      for (size_t j = 0; j < valid.size(); ++j) {
+        valid[j] = rng.UniformInt(2) == 0;
+        any = any || valid[j];
+      }
+      if (!any) valid[rng.UniformInt(static_cast<uint64_t>(num_tags))] = true;
+    }
+    const std::vector<bool>* mask = masked ? &valid : nullptr;
+
+    std::vector<int64_t> best_path;
+    double best_score = -1e300;
+    int ties = 0;
+    for (const auto& path : AllPaths(num_tags, length, mask)) {
+      const double s = PathScore(crf, emissions, path);
+      if (s > best_score) {
+        best_score = s;
+        best_path = path;
+        ties = 1;
+      } else if (s == best_score) {
+        ++ties;
+      }
+    }
+    ASSERT_FALSE(best_path.empty());
+
+    std::vector<int64_t> viterbi = crf.Viterbi(emissions, mask);
+    const double viterbi_score = PathScore(crf, emissions, viterbi);
+    EXPECT_NEAR(viterbi_score, best_score, 1e-3)
+        << "instance " << instance << " T=" << length << " N=" << num_tags;
+    if (ties == 1) {
+      EXPECT_EQ(viterbi, best_path) << "instance " << instance;
+    }
+    if (masked) {
+      for (int64_t tag : viterbi) EXPECT_TRUE(valid[static_cast<size_t>(tag)]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fewner::crf

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "tensor/autodiff.h"
+#include "tensor/eval_mode.h"
+#include "tensor/matmul_kernel.h"
 #include "tensor/ops.h"
 #include "tensor/shape.h"
 #include "tensor/tensor.h"
@@ -306,6 +310,137 @@ TEST(OpsTest, RequiresGradPropagates) {
   EXPECT_TRUE(Add(a, b).requires_grad());
   EXPECT_FALSE(Add(b, b).requires_grad());
   EXPECT_TRUE(MatMul(Reshape(a, Shape{1, 2}), Reshape(b, Shape{2, 1})).requires_grad());
+}
+
+TEST(MatMulKernelTest, BlockedMatchesNaiveBitwiseOnAwkwardShapes) {
+  // Shapes deliberately straddle the 4x8 register tile: remainder rows,
+  // remainder columns, degenerate dims.  The kernels promise identical
+  // per-element accumulation order, so equality must hold to the last bit.
+  const int64_t sizes[] = {1, 2, 3, 5, 7, 9, 17, 33};
+  util::Rng rng(515);
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        std::vector<float> a(static_cast<size_t>(m * k));
+        std::vector<float> b(static_cast<size_t>(k * n));
+        for (float& v : a) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+        for (float& v : b) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+        // Sprinkle exact zeros to exercise the naive kernel's skip branch.
+        for (size_t i = 0; i < a.size(); i += 7) a[i] = 0.0f;
+        std::vector<float> blocked(static_cast<size_t>(m * n), -1.0f);
+        std::vector<float> naive(static_cast<size_t>(m * n), -2.0f);
+        kernel::MatMulBlocked(a.data(), b.data(), blocked.data(), m, k, n);
+        kernel::MatMulNaive(a.data(), b.data(), naive.data(), m, k, n);
+        for (size_t i = 0; i < blocked.size(); ++i) {
+          ASSERT_EQ(std::memcmp(&blocked[i], &naive[i], sizeof(float)), 0)
+              << "m=" << m << " k=" << k << " n=" << n << " elem " << i << ": "
+              << blocked[i] << " vs " << naive[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(OpsTest, UnfoldFoldAreAdjoint) {
+  // <Unfold(x), y> == <x, Fold(y)> for all x, y — the defining property of an
+  // adjoint pair, which is exactly what autodiff uses them as.
+  util::Rng rng(81);
+  for (int64_t window = 1; window <= 3; ++window) {
+    Tensor x = Tensor::Randn(Shape{6, 2}, &rng);
+    Tensor y = Tensor::Randn(Shape{6 - window + 1, window * 2}, &rng);
+    const Tensor ux = Unfold1d(x, window);
+    const Tensor fy = Fold1d(y, window);
+    double lhs = 0.0, rhs = 0.0;
+    for (int64_t i = 0; i < ux.numel(); ++i) lhs += ux.at(i) * y.at(i);
+    for (int64_t i = 0; i < x.numel(); ++i) rhs += x.at(i) * fy.at(i);
+    EXPECT_NEAR(lhs, rhs, 1e-4) << "window " << window;
+  }
+}
+
+TEST(OpsTest, UnfoldFoldGradientsMatchFiniteDifferences) {
+  util::Rng rng(82);
+  const int64_t window = 2;
+  Tensor x = Tensor::Randn(Shape{5, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor w = Tensor::Randn(Shape{4, 6}, &rng);  // random probe direction
+  auto loss_at = [&](const std::vector<float>& values) {
+    Tensor t = Tensor::FromData(x.shape(), values);
+    return SumAll(Mul(Unfold1d(t, window), w)).item();
+  };
+  Tensor loss = SumAll(Mul(Unfold1d(x, window), w));
+  auto g = autodiff::Grad(loss, {x});
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    std::vector<float> plus = x.data(), minus = x.data();
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    EXPECT_NEAR(g[0].at(i), (loss_at(plus) - loss_at(minus)) / (2 * eps), 1e-2)
+        << "x[" << i << "]";
+  }
+}
+
+TEST(OpsTest, IndexSelectScatterAddAreAdjoint) {
+  // <IndexSelect(x, idx), y> == <x, ScatterAdd(y, idx)>, including repeated
+  // indices, which is where a buggy scatter would drop contributions.
+  util::Rng rng(83);
+  const std::vector<int64_t> idx = {0, 3, 3, 1, 4, 3};
+  Tensor x = Tensor::Randn(Shape{5, 2}, &rng);
+  Tensor y = Tensor::Randn(Shape{static_cast<int64_t>(idx.size()), 2}, &rng);
+  const Tensor sel = IndexSelectRows(x, idx);
+  const Tensor sc = ScatterAddRows(y, idx, 5);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < sel.numel(); ++i) lhs += sel.at(i) * y.at(i);
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += x.at(i) * sc.at(i);
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(OpsTest, IndexSelectGradientMatchesFiniteDifferences) {
+  util::Rng rng(84);
+  const std::vector<int64_t> idx = {2, 0, 2, 1};
+  Tensor x = Tensor::Randn(Shape{3, 2}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor w = Tensor::Randn(Shape{4, 2}, &rng);
+  auto loss_at = [&](const std::vector<float>& values) {
+    Tensor t = Tensor::FromData(x.shape(), values);
+    return SumAll(Mul(IndexSelectRows(t, idx), w)).item();
+  };
+  Tensor loss = SumAll(Mul(IndexSelectRows(x, idx), w));
+  auto g = autodiff::Grad(loss, {x});
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    std::vector<float> plus = x.data(), minus = x.data();
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    EXPECT_NEAR(g[0].at(i), (loss_at(plus) - loss_at(minus)) / (2 * eps), 1e-2)
+        << "x[" << i << "]";
+  }
+}
+
+using TensorDeathTest = ::testing::Test;
+
+TEST(TensorDeathTest, MutableDataOnGraphOpOutputAborts) {
+  Tensor a = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  Tensor sum = Add(a, a);
+  EXPECT_DEATH(sum.mutable_data(), "leaf");
+}
+
+TEST(TensorDeathTest, MutableDataOnEvalOpOutputAborts) {
+  // Eval-mode outputs have no input edges, so the leaf flag is the only thing
+  // standing between a caller and an arena-recycled buffer.
+  Tensor a = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  Tensor sum;
+  {
+    EvalMode eval;
+    sum = Add(a, a);
+  }
+  EXPECT_DEATH(sum.mutable_data(), "leaf");
+}
+
+TEST(TensorDeathTest, MutableDataOnLeafStillWorks) {
+  Tensor a = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  (*a.mutable_data())[0] = 5.0f;
+  EXPECT_EQ(a.at(0), 5.0f);
+  Tensor d = Add(a, a).Detach();  // Detach re-leafs an op output
+  (*d.mutable_data())[0] = 7.0f;
+  EXPECT_EQ(d.at(0), 7.0f);
 }
 
 }  // namespace
