@@ -1,0 +1,244 @@
+// Inner-loop training throughput of batch-first episode execution.
+//
+// Runs the FEWNER inner loop (K gradient steps on φ over a B-sentence support
+// set) two ways and reports episodes/second for each:
+//
+//   serial  — the pre-existing path: one forward/backward pipeline per
+//             sentence, losses summed.
+//   batched — one padded [B, Lmax] forward and one batched CRF NLL per step
+//             (models::Backbone::BatchLoss on an EncodedBatch).
+//
+// The two paths are bitwise-interchangeable (DESIGN.md §7): before any timing,
+// every (K, B) cell re-seeds dropout and checks that the serial and batched
+// task losses agree to the last bit; cells are only timed — and the table only
+// printed — when the parity checksum holds, so a speedup can never be bought
+// with a correctness regression.
+//
+//   ./training_throughput --inner-steps 1,5 --batch-sizes 1,8,32
+//
+// --second-order keeps the inner-step graph (create_graph) the way
+// meta-training does; the default measures the cheaper test-time adaptation.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/episode_sampler.h"
+#include "data/synthetic.h"
+#include "meta/fewner.h"
+#include "models/backbone.h"
+#include "tensor/autodiff.h"
+#include "tensor/ops.h"
+#include "text/bio.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fewner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tensor::Tensor;
+
+bool ParseSizes(const std::string& csv, std::vector<int64_t>* out) {
+  for (const std::string& s : util::Split(csv, ',')) {
+    char* end = nullptr;
+    const long long value = std::strtoll(s.c_str(), &end, 10);
+    if (s.empty() || *end != '\0' || value < 1) return false;
+    out->push_back(value);
+  }
+  return !out->empty();
+}
+
+/// One inner-loop adaptation: K clipped gradient steps on φ, mirroring
+/// Fewner::AdaptContextOn.  `packed == nullptr` selects the per-sentence path.
+Tensor Adapt(const models::Backbone& net,
+             const std::vector<models::EncodedSentence>& support,
+             const models::EncodedBatch* packed,
+             const std::vector<bool>& valid_tags, int64_t steps, float inner_lr,
+             bool create_graph) {
+  Tensor phi = net.ZeroContext();
+  for (int64_t k = 0; k < steps; ++k) {
+    Tensor loss = packed ? net.BatchLoss(*packed, phi, valid_tags)
+                         : net.BatchLoss(support, phi, valid_tags);
+    Tensor grad = tensor::autodiff::Grad(loss, {phi}, create_graph)[0];
+    double norm_sq = 0.0;
+    for (float v : grad.data()) norm_sq += static_cast<double>(v) * v;
+    const float norm = static_cast<float>(std::sqrt(norm_sq));
+    const float clip_scale = norm > 5.0f ? 5.0f / norm : 1.0f;
+    phi = tensor::Sub(phi, tensor::MulScalar(grad, inner_lr * clip_scale));
+    if (!create_graph) {
+      Tensor leaf = phi.Detach();
+      leaf.set_requires_grad(true);
+      phi = leaf;
+    }
+  }
+  return phi;
+}
+
+/// Runs `episode_fn` until `min_seconds` of wall time elapses; returns
+/// adaptations per second.
+template <typename F>
+double MeasureEpisodes(double min_seconds, F episode_fn) {
+  episode_fn();  // warm-up
+  int64_t episodes = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    episode_fn();
+    ++episodes;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(episodes) / elapsed;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddString("inner-steps", "1,5", "comma list of inner-loop step counts K");
+  flags.AddString("batch-sizes", "1,8,32", "comma list of support sizes B");
+  flags.AddInt("sentences", 300, "synthetic corpus size");
+  flags.AddInt("hidden-dim", 16, "backbone hidden dimension");
+  flags.AddDouble("inner-lr", 0.1, "inner-loop learning rate");
+  flags.AddDouble("min-seconds", 1.0, "minimum measured wall time per cell");
+  flags.AddBool("second-order", false, "keep the inner-step graph (training mode)");
+  flags.AddInt("seed", 42, "global seed");
+  flags.AddBool("verbose", false, "log progress");
+  util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+  if (!flags.GetBool("verbose")) util::SetLogLevel(util::LogLevel::kWarning);
+
+  std::vector<int64_t> step_counts, batch_sizes;
+  if (!ParseSizes(flags.GetString("inner-steps"), &step_counts) ||
+      !ParseSizes(flags.GetString("batch-sizes"), &batch_sizes)) {
+    std::cerr << "invalid --inner-steps / --batch-sizes\n";
+    return 1;
+  }
+  int64_t max_batch = 1;
+  for (int64_t b : batch_sizes) max_batch = b > max_batch ? b : max_batch;
+
+  data::SyntheticSpec spec;
+  spec.name = "innerloop";
+  spec.genre = "newswire";
+  spec.num_sentences = flags.GetInt("sentences");
+  spec.num_types = 8;
+  spec.mentions_per_sentence = 2.0;
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  data::Corpus corpus = data::GenerateCorpus(spec);
+
+  text::VocabBuilder builder;
+  for (const auto& sentence : corpus.sentences) builder.AddSentence(sentence.tokens);
+  text::Vocab words = builder.BuildWordVocab();
+  text::Vocab chars = builder.BuildCharVocab();
+
+  models::BackboneConfig config;
+  config.word_vocab_size = words.size();
+  config.char_vocab_size = chars.size();
+  config.word_dim = 16;
+  config.char_dim = 8;
+  config.filters_per_width = 6;
+  config.hidden_dim = flags.GetInt("hidden-dim");
+  config.max_tags = text::NumTags(3);
+  config.context_dim = 8;
+  config.dropout = 0.3f;
+
+  models::EpisodeEncoder encoder(&words, &chars, config.max_tags);
+  data::EpisodeSampler sampler(&corpus, corpus.entity_types, 3, 1, max_batch,
+                               spec.seed ^ 0x7124ull);
+
+  util::Rng rng(spec.seed);
+  meta::Fewner fewner(config, &rng);
+  models::Backbone* net = fewner.backbone();
+  net->SetTraining(true);  // inner-loop training: dropout on
+
+  // Support pool: enough distinct sentences to fill the largest B.  Sorted
+  // longest-first like every sampled episode (data::EpisodeSampler), so a
+  // B-sentence workload is length-homogeneous and padding stays representative
+  // of real inner loops rather than of a worst-case ragged batch.
+  models::EncodedEpisode episode = encoder.Encode(sampler.Sample(0));
+  std::vector<models::EncodedSentence> pool = episode.support;
+  for (const auto& sentence : episode.query) pool.push_back(sentence);
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const models::EncodedSentence& a,
+                      const models::EncodedSentence& b) {
+                     return a.length() > b.length();
+                   });
+
+  const float inner_lr = static_cast<float>(flags.GetDouble("inner-lr"));
+  const bool second_order = flags.GetBool("second-order");
+  const double min_seconds = flags.GetDouble("min-seconds");
+
+  // Correctness gate: for every cell's workload, the serial and batched task
+  // losses must agree bitwise under identical dropout streams.
+  double checksum = 0.0;
+  for (int64_t batch : batch_sizes) {
+    std::vector<models::EncodedSentence> support;
+    for (int64_t i = 0; i < batch; ++i) {
+      support.push_back(
+          pool[static_cast<size_t>(i % static_cast<int64_t>(pool.size()))]);
+    }
+    const models::EncodedBatch packed = models::PackBatch(support);
+    Tensor phi = net->ZeroContext();
+    net->ReseedDropout(static_cast<uint64_t>(batch));
+    const float serial = net->BatchLoss(support, phi, episode.valid_tags).item();
+    net->ReseedDropout(static_cast<uint64_t>(batch));
+    const float fused = net->BatchLoss(packed, phi, episode.valid_tags).item();
+    if (std::memcmp(&serial, &fused, sizeof(float)) != 0) {
+      std::cerr << "ERROR: batched task loss diverges from per-sentence loss at"
+                << " B=" << batch << " (" << serial << " vs " << fused << ")\n";
+      return 1;
+    }
+    checksum += static_cast<double>(serial);
+  }
+
+  std::printf("parity checksum %.6f (serial == batched, bitwise)\n", checksum);
+  std::printf("      K       B   serial ep/s  batched ep/s    speedup\n");
+  double worst_gated = 1e30;  // min speedup over K=5, B>=8 — the contract cells
+  for (int64_t steps : step_counts) {
+    for (int64_t batch : batch_sizes) {
+      std::vector<models::EncodedSentence> support;
+      for (int64_t i = 0; i < batch; ++i) {
+        support.push_back(
+            pool[static_cast<size_t>(i % static_cast<int64_t>(pool.size()))]);
+      }
+      const models::EncodedBatch packed = models::PackBatch(support);
+      uint64_t episode_id = 0;
+      const double serial_rate = MeasureEpisodes(min_seconds, [&] {
+        net->ReseedDropout(episode_id++);
+        Adapt(*net, support, nullptr, episode.valid_tags, steps, inner_lr,
+              second_order);
+      });
+      episode_id = 0;
+      const double batched_rate = MeasureEpisodes(min_seconds, [&] {
+        net->ReseedDropout(episode_id++);
+        Adapt(*net, support, &packed, episode.valid_tags, steps, inner_lr,
+              second_order);
+      });
+      const double speedup = batched_rate / serial_rate;
+      if (steps >= 5 && batch >= 8) {
+        worst_gated = speedup < worst_gated ? speedup : worst_gated;
+      }
+      std::printf("%7lld %7lld %13.1f %13.1f %9.2fx\n",
+                  static_cast<long long>(steps), static_cast<long long>(batch),
+                  serial_rate, batched_rate, speedup);
+    }
+  }
+  if (worst_gated < 1e30) {
+    std::printf("minimum speedup at K>=5, B>=8: %.2fx\n", worst_gated);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fewner
+
+int main(int argc, char** argv) { return fewner::Main(argc, argv); }

@@ -82,21 +82,25 @@ int main(int argc, char** argv) {
   }
 
   // 4. Serve the adapted model.  AdaptedTagger freezes (θ_Meta, φ*) into a
-  //    snapshot whose Tag() runs on the graph-free eval fast path: no autodiff
-  //    bookkeeping, buffers recycled from a per-thread arena.  This is the
-  //    type to hold on to when tagging a stream of sentences for one task.
+  //    snapshot whose tagging runs on the graph-free eval fast path: no
+  //    autodiff bookkeeping, buffers recycled from a per-thread arena.  This
+  //    is the type to hold on to when tagging sentences for one task.
+  //    TagAll packs the whole batch into one padded [B, Lmax] pipeline
+  //    (DESIGN.md §7) — identical tags to sentence-at-a-time Tag(), one
+  //    forward instead of B.
   auto* fewner_method = static_cast<meta::Fewner*>(method.get());
   meta::AdaptedTagger tagger(fewner_method, enc);
   size_t entity_tokens = 0, total_tokens = 0;
-  for (const auto& sentence : enc.query) {
-    for (int64_t tag : tagger.Tag(sentence)) {
+  for (const auto& tags : tagger.TagAll(enc.query)) {
+    for (int64_t tag : tags) {
       total_tokens += 1;
       if (tag != text::kOutsideTag) entity_tokens += 1;
     }
   }
   std::cout << "\nAdaptedTagger served " << enc.query.size()
-            << " query sentences graph-free: " << entity_tokens << "/"
-            << total_tokens << " tokens tagged as entities\n";
+            << " query sentences in one batched graph-free pass: "
+            << entity_tokens << "/" << total_tokens
+            << " tokens tagged as entities\n";
 
   // 5. Persist θ_Meta (Algorithm 1's training output) for later adaptation.
   const std::string checkpoint = "/tmp/fewner_quickstart.ckpt";

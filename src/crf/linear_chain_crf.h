@@ -31,9 +31,29 @@ class LinearChainCrf : public nn::Module {
                                   const std::vector<int64_t>& tags,
                                   const std::vector<bool>* valid_tags = nullptr) const;
 
+  /// Batched negative log-likelihood over padded emissions [B, Lmax, num_tags]
+  /// with lane-major gold tags (`tags.size() == B * Lmax`, padding entries
+  /// ignored).  Returns a [B] tensor whose lane b is bitwise-equal to
+  /// NegLogLikelihood on that lane's [lengths[b], num_tags] slice: the masked
+  /// log-space forward runs one batched step per timestep with finished lanes
+  /// carrying alpha through an exact Where select, and the gold score sums
+  /// per lane in the same double-precision ascending order as SumAll.
+  tensor::Tensor NegLogLikelihoodBatch(const tensor::Tensor& emissions,
+                                       const std::vector<int64_t>& tags,
+                                       const std::vector<int64_t>& lengths,
+                                       const std::vector<bool>* valid_tags =
+                                           nullptr) const;
+
   /// Highest-scoring tag sequence for emissions [L, num_tags].
   std::vector<int64_t> Viterbi(const tensor::Tensor& emissions,
                                const std::vector<bool>* valid_tags = nullptr) const;
+
+  /// Batched Viterbi over padded emissions [B, Lmax, num_tags]: decodes lane b
+  /// from its first lengths[b] rows with the same float recurrence as
+  /// Viterbi, so the paths are identical given identical emissions.
+  std::vector<std::vector<int64_t>> ViterbiBatch(
+      const tensor::Tensor& emissions, const std::vector<int64_t>& lengths,
+      const std::vector<bool>* valid_tags = nullptr) const;
 
   /// The k highest-scoring tag sequences with their (unnormalized) path
   /// scores, best first.  Returns fewer than k when the (valid-tag) path space
@@ -57,6 +77,12 @@ class LinearChainCrf : public nn::Module {
  private:
   /// Additive [num_tags] mask: 0 for valid tags, a large negative otherwise.
   tensor::Tensor ValidityMask(const std::vector<bool>* valid_tags) const;
+
+  /// The shared max-product float recurrence: decodes one sentence from a raw
+  /// [length, num_tags] emission block.  Viterbi and ViterbiBatch both call
+  /// this, which is what makes their paths identical by construction.
+  std::vector<int64_t> ViterbiCore(const float* emit, int64_t length,
+                                   const std::vector<bool>* valid_tags) const;
 
   int64_t num_tags_;
   tensor::Tensor transitions_;  ///< [from, to]

@@ -145,6 +145,16 @@ bool EpisodeSampler::TryBuild(util::Rng* rng, Episode* episode) const {
     query_pool.resize(static_cast<size_t>(query_size_));
   }
 
+  // Longest-first within each set (stable, so equal lengths keep their
+  // sampling order): batch-first execution pads every lane to the set's
+  // maximum length, and grouping long sentences up front keeps padded work
+  // predictable without changing which sentences the episode contains.
+  const auto longer = [](const Sentence* a, const Sentence* b) {
+    return a->tokens.size() > b->tokens.size();
+  };
+  std::stable_sort(support.begin(), support.end(), longer);
+  std::stable_sort(query_pool.begin(), query_pool.end(), longer);
+
   episode->types = ways;
   episode->support = support;
   episode->query = query_pool;

@@ -34,13 +34,11 @@ std::vector<int64_t> AdaptedTagger::Tag(
 
 std::vector<std::vector<int64_t>> AdaptedTagger::TagAll(
     const std::vector<models::EncodedSentence>& sentences) const {
+  if (sentences.empty()) return {};
+  // One batched graph-free forward for the whole query set, then per-lane
+  // Viterbi — identical tags to sentence-at-a-time Decode (see DESIGN.md §7).
   tensor::EvalMode eval;
-  std::vector<std::vector<int64_t>> predictions;
-  predictions.reserve(sentences.size());
-  for (const auto& sentence : sentences) {
-    predictions.push_back(backbone_->Decode(sentence, phi_, valid_tags_));
-  }
-  return predictions;
+  return backbone_->DecodeBatch(models::PackBatch(sentences), phi_, valid_tags_);
 }
 
 }  // namespace fewner::meta

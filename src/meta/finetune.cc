@@ -42,7 +42,8 @@ void FineTune::Train(const data::EpisodeSampler& sampler,
           auto* net = static_cast<models::Backbone*>(model);
           models::EncodedEpisode enc = PrepareTrainingTask(
               sampler, encoder, config, base + static_cast<uint64_t>(t), net);
-          Tensor loss = net->BatchLoss(enc.support, Tensor(), enc.valid_tags);
+          Tensor loss = net->BatchLoss(models::PackBatch(enc.support), Tensor(),
+                                       enc.valid_tags);
           *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
           return loss.item();
         },
@@ -68,17 +69,18 @@ std::vector<std::vector<int64_t>> FineTune::AdaptAndPredict(
   std::vector<std::vector<float>> snapshot =
       nn::SnapshotParameterValues(backbone_.get());
   nn::Sgd sgd(backbone_->Parameters(), finetune_lr_);
+  const models::EncodedBatch packed = models::PackBatch(episode.support);
   for (int64_t step = 0; step < test_steps_; ++step) {
-    Tensor loss = backbone_->BatchLoss(episode.support, Tensor(), episode.valid_tags);
+    Tensor loss = backbone_->BatchLoss(packed, Tensor(), episode.valid_tags);
     std::vector<Tensor> grads =
         tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
     nn::ClipGradNorm(&grads, 5.0f);
     sgd.Step(grads);
   }
   std::vector<std::vector<int64_t>> predictions;
-  predictions.reserve(episode.query.size());
-  for (const auto& sentence : episode.query) {
-    predictions.push_back(backbone_->Decode(sentence, Tensor(), episode.valid_tags));
+  if (!episode.query.empty()) {
+    predictions = backbone_->DecodeBatch(models::PackBatch(episode.query),
+                                         Tensor(), episode.valid_tags);
   }
   nn::RestoreParameterValues(backbone_.get(), snapshot);
   return predictions;

@@ -46,11 +46,13 @@ std::vector<Tensor> Maml::InnerAdaptOn(
     bool create_graph) {
   std::vector<Tensor*> slots = net->Parameters();
   std::vector<Tensor> current = nn::ParameterTensors(net);
+  // Packed once; every inner step runs the batch-first forward.
+  const models::EncodedBatch packed = models::PackBatch(support);
   for (int64_t k = 0; k < steps; ++k) {
     Tensor loss;
     {
       nn::ParameterPatch patch(slots, current);
-      loss = net->BatchLoss(support, Tensor(), valid_tags);
+      loss = net->BatchLoss(packed, Tensor(), valid_tags);
     }
     std::vector<Tensor> grads = tensor::autodiff::Grad(loss, current, create_graph);
     // Full-network inner steps on the paper's summed task loss are large;
@@ -113,7 +115,8 @@ void Maml::Train(const data::EpisodeSampler& sampler,
           Tensor query_loss;
           {
             nn::ParameterPatch patch(net->Parameters(), adapted);
-            query_loss = net->BatchLoss(enc.query, Tensor(), enc.valid_tags);
+            query_loss = net->BatchLoss(models::PackBatch(enc.query), Tensor(),
+                                        enc.valid_tags);
           }
           // Eq. 3: meta-gradient w.r.t. the original parameters, flowing
           // through the full-network inner updates; per-task backward bounds
@@ -151,12 +154,9 @@ std::vector<std::vector<int64_t>> Maml::AdaptAndPredict(
                  /*create_graph=*/false);
   std::vector<Tensor*> slots = backbone_->Parameters();
   nn::ParameterPatch patch(slots, adapted);
-  std::vector<std::vector<int64_t>> predictions;
-  predictions.reserve(episode.query.size());
-  for (const auto& sentence : episode.query) {
-    predictions.push_back(backbone_->Decode(sentence, Tensor(), episode.valid_tags));
-  }
-  return predictions;
+  if (episode.query.empty()) return {};
+  return backbone_->DecodeBatch(models::PackBatch(episode.query), Tensor(),
+                                episode.valid_tags);
 }
 
 }  // namespace fewner::meta

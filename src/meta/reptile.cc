@@ -25,8 +25,10 @@ double Reptile::SgdOnSupport(models::Backbone* net,
                              float lr) {
   nn::Sgd sgd(net->Parameters(), lr);
   double last_loss = 0.0;
+  // Packed once; every SGD step runs the batch-first forward.
+  const models::EncodedBatch packed = models::PackBatch(support);
   for (int64_t k = 0; k < steps; ++k) {
-    Tensor loss = net->BatchLoss(support, Tensor(), valid_tags);
+    Tensor loss = net->BatchLoss(packed, Tensor(), valid_tags);
     std::vector<Tensor> grads =
         tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
     nn::ClipGradNorm(&grads, 5.0f);
@@ -102,9 +104,9 @@ std::vector<std::vector<int64_t>> Reptile::AdaptAndPredict(
   SgdOnSupport(backbone_.get(), episode.support, episode.valid_tags, test_steps_,
                inner_lr_);
   std::vector<std::vector<int64_t>> predictions;
-  predictions.reserve(episode.query.size());
-  for (const auto& sentence : episode.query) {
-    predictions.push_back(backbone_->Decode(sentence, Tensor(), episode.valid_tags));
+  if (!episode.query.empty()) {
+    predictions = backbone_->DecodeBatch(models::PackBatch(episode.query),
+                                         Tensor(), episode.valid_tags);
   }
   nn::RestoreParameterValues(backbone_.get(), snapshot);
   return predictions;

@@ -1,5 +1,8 @@
 #include "models/backbone.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "tensor/eval_mode.h"
 #include "tensor/ops.h"
 
@@ -8,10 +11,70 @@ namespace fewner::models {
 using tensor::Shape;
 using tensor::Tensor;
 
+namespace {
+/// Stream id of the standalone (non-lane) dropout stream, kept clear of the
+/// (call << 32) | lane ids ForkLaneRngs hands to batch lanes.
+constexpr uint64_t kStandaloneDropoutStream = ~0ull;
+
+/// Contiguous lane runs with bounded padding: a run closes before a lane that
+/// would stretch its max/min length ratio beyond 2.  Per-lane batched results
+/// are bitwise lane-independent (DESIGN.md §7), so any partition computes
+/// identical values — bucketing only trades padded FLOPs for a few extra op
+/// launches.  With length-sorted batches (data::EpisodeSampler) ragged sets
+/// collapse into a handful of near-homogeneous sub-batches.
+std::vector<std::pair<int64_t, int64_t>> LaneRuns(
+    const std::vector<int64_t>& lengths) {
+  std::vector<std::pair<int64_t, int64_t>> runs;
+  int64_t begin = 0;
+  int64_t run_min = lengths[0];
+  int64_t run_max = lengths[0];
+  for (int64_t b = 1; b < static_cast<int64_t>(lengths.size()); ++b) {
+    const int64_t lo = std::min(run_min, lengths[static_cast<size_t>(b)]);
+    const int64_t hi = std::max(run_max, lengths[static_cast<size_t>(b)]);
+    if (hi > 2 * lo) {
+      runs.emplace_back(begin, b - begin);
+      begin = b;
+      run_min = run_max = lengths[static_cast<size_t>(b)];
+    } else {
+      run_min = lo;
+      run_max = hi;
+    }
+  }
+  runs.emplace_back(begin, static_cast<int64_t>(lengths.size()) - begin);
+  return runs;
+}
+
+/// Repacks lanes [begin, begin + count) into their own padded batch, padded
+/// only to the run's max length.
+EncodedBatch SubBatch(const EncodedBatch& batch, int64_t begin, int64_t count) {
+  EncodedBatch sub;
+  sub.batch = count;
+  sub.lengths.assign(batch.lengths.begin() + begin,
+                     batch.lengths.begin() + begin + count);
+  sub.max_len = *std::max_element(sub.lengths.begin(), sub.lengths.end());
+  const size_t flat = static_cast<size_t>(sub.batch * sub.max_len);
+  sub.word_ids.assign(flat, 0);
+  sub.char_ids.assign(flat, {});
+  sub.tags.assign(flat, 0);
+  for (int64_t b = 0; b < count; ++b) {
+    const size_t src = static_cast<size_t>((begin + b) * batch.max_len);
+    const size_t dst = static_cast<size_t>(b * sub.max_len);
+    const size_t len = static_cast<size_t>(sub.lengths[static_cast<size_t>(b)]);
+    for (size_t t = 0; t < len; ++t) {
+      sub.word_ids[dst + t] = batch.word_ids[src + t];
+      sub.char_ids[dst + t] = batch.char_ids[src + t];
+      sub.tags[dst + t] = batch.tags[src + t];
+    }
+  }
+  return sub;
+}
+}  // namespace
+
 Backbone::Backbone(const BackboneConfig& config, util::Rng* rng)
     : config_(config),
       dropout_base_(rng->Fork(0xD409u)),
-      dropout_rng_(dropout_base_.Fork(0)) {
+      dropout_episode_(dropout_base_.Fork(0)),
+      dropout_rng_(dropout_episode_.Fork(kStandaloneDropoutStream)) {
   FEWNER_CHECK(config.word_vocab_size > 0, "backbone needs a word vocabulary");
   word_embedding_ =
       std::make_unique<nn::Embedding>(config.word_vocab_size, config.word_dim, rng);
@@ -55,7 +118,28 @@ Backbone::Backbone(const BackboneConfig& config, util::Rng* rng)
 }
 
 void Backbone::ReseedDropout(uint64_t stream) {
-  dropout_rng_ = dropout_base_.Fork(stream);
+  dropout_episode_ = dropout_base_.Fork(stream);
+  dropout_call_ = 0;
+  dropout_rng_ = dropout_episode_.Fork(kStandaloneDropoutStream);
+}
+
+std::vector<util::Rng> Backbone::ForkLaneRngs(size_t lanes) const {
+  std::vector<util::Rng> rngs;
+  // Lane streams exist only to make training-mode dropout masks reproducible
+  // per (episode, call, lane); with dropout off, LaneDropout never draws from
+  // them.  Returning unforked placeholders then keeps this path free of
+  // writes to the shared Backbone, so concurrent eval-mode serving threads
+  // never touch shared state (the tsan-labelled serving tests pin this).
+  if (!training() || config_.dropout <= 0.0f) {
+    rngs.resize(lanes);
+    return rngs;
+  }
+  const uint64_t call = dropout_call_++;
+  rngs.reserve(lanes);
+  for (size_t b = 0; b < lanes; ++b) {
+    rngs.push_back(dropout_episode_.Fork((call << 32) | static_cast<uint64_t>(b)));
+  }
+  return rngs;
 }
 
 int64_t Backbone::token_input_dim() const {
@@ -73,40 +157,113 @@ Tensor Backbone::ZeroContext() const {
   return Tensor::Zeros(Shape{config_.context_dim}, /*requires_grad=*/true);
 }
 
-Tensor Backbone::InputRepresentation(const EncodedSentence& sentence) const {
-  Tensor words = word_embedding_->Forward(sentence.word_ids);  // [L, word_dim]
-  Tensor input = words;
-  if (config_.use_char_cnn) {
-    Tensor chars = char_cnn_->Forward(sentence.char_ids);  // [L, char_features]
-    input = tensor::Concat({words, chars}, 1);
+Tensor Backbone::LaneDropout(const Tensor& x, const EncodedBatch& batch,
+                             const std::vector<util::Rng*>& lane_rngs) const {
+  if (!training() || config_.dropout <= 0.0f) return x;
+  const float p = config_.dropout;
+  FEWNER_CHECK(p < 1.0f, "Dropout rate must be < 1");
+  const float scale = 1.0f / (1.0f - p);
+  const int64_t d = x.shape().dim(2);
+  // Padding rows get a 0 mask (dropped) without consuming draws, so lane b's
+  // draw sequence is exactly what tensor::Dropout draws for its [len, d]
+  // per-sentence tensor — and garbage padding activations are zeroed for free.
+  std::vector<float> mask(static_cast<size_t>(x.numel()), 0.0f);
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    util::Rng* rng = lane_rngs[static_cast<size_t>(b)];
+    float* lane_mask = mask.data() + b * batch.max_len * d;
+    const int64_t lane_elems = batch.lengths[static_cast<size_t>(b)] * d;
+    for (int64_t i = 0; i < lane_elems; ++i) {
+      lane_mask[i] = rng->Bernoulli(p) ? 0.0f : scale;
+    }
   }
-  return tensor::Dropout(input, config_.dropout, &dropout_rng_, training());
+  return tensor::Mul(x, Tensor::FromData(x.shape(), std::move(mask)));
 }
 
-Tensor Backbone::Encode(const EncodedSentence& sentence, const Tensor& phi) const {
-  FEWNER_CHECK(sentence.length() > 0, "Encode on empty sentence");
-  Tensor input = InputRepresentation(sentence);
+Tensor Backbone::EncodeBatchImpl(const EncodedBatch& batch, const Tensor& phi,
+                                 const std::vector<util::Rng*>& lane_rngs) const {
+  const int64_t lanes = batch.batch;
+  const int64_t max_len = batch.max_len;
+  FEWNER_CHECK(lanes > 0 && max_len > 0, "EncodeBatch on empty batch");
+  FEWNER_CHECK(static_cast<int64_t>(lane_rngs.size()) == lanes,
+               "EncodeBatch lane rng count mismatch");
+
+  // One embedding gather + one CharCnn pass over all B*Lmax tokens.  Every op
+  // here is per-row (GEMM rows are bitwise-independent under the ascending-k
+  // kernel contract), so lane b's rows match the per-sentence pipeline.
+  Tensor words = word_embedding_->Forward(batch.word_ids);  // [B*L, word_dim]
+  Tensor input = words;
+  if (config_.use_char_cnn) {
+    Tensor chars = char_cnn_->ForwardBatch(batch.char_ids);  // [B*L, char_feat]
+    input = tensor::Concat({words, chars}, 1);
+  }
+  Tensor input3 = tensor::Reshape(
+      input, Shape{lanes, max_len, input.shape().dim(1)});
+  input3 = LaneDropout(input3, batch, lane_rngs);
   if (config_.conditioning == Conditioning::kConcat) {
     FEWNER_CHECK(phi.defined(), "kConcat conditioning requires a context vector");
     // Method A (paper Eq. 7): φ joins every token's input features.
     Tensor phi_rows = tensor::BroadcastTo(
-        tensor::Reshape(phi, Shape{1, config_.context_dim}),
-        Shape{sentence.length(), config_.context_dim});
-    input = tensor::Concat({input, phi_rows}, 1);
+        tensor::Reshape(phi, Shape{1, 1, config_.context_dim}),
+        Shape{lanes, max_len, config_.context_dim});
+    input3 = tensor::Concat({input3, phi_rows}, 2);
   }
-  Tensor hidden = bigru_ ? bigru_->Forward(input)
-                         : bilstm_->Forward(input);  // [L, 2H]
+  Tensor hidden3 = bigru_ ? bigru_->ForwardBatch(input3, batch.lengths)
+                          : bilstm_->ForwardBatch(input3, batch.lengths);
   if (config_.conditioning == Conditioning::kFilm) {
     FEWNER_CHECK(phi.defined(), "kFilm conditioning requires a context vector");
     // Method B (paper Eq. 8-9): modulate the BiGRU output so adapted hidden
-    // states feed task-specific label dependencies into the CRF.
-    hidden = film_->Forward(hidden, phi);
+    // states feed task-specific label dependencies into the CRF.  FiLM's γ/η
+    // broadcast is per-row, so flattening lanes is exact.
+    Tensor hidden2 = film_->Forward(
+        tensor::Reshape(hidden3, Shape{lanes * max_len, 2 * config_.hidden_dim}),
+        phi);
+    hidden3 = tensor::Reshape(hidden2,
+                              Shape{lanes, max_len, 2 * config_.hidden_dim});
   }
-  return tensor::Dropout(hidden, config_.dropout, &dropout_rng_, training());
+  return LaneDropout(hidden3, batch, lane_rngs);
+}
+
+Tensor Backbone::EmissionsBatchImpl(const EncodedBatch& batch, const Tensor& phi,
+                                    const std::vector<util::Rng*>& lane_rngs) const {
+  Tensor encoded = EncodeBatchImpl(batch, phi, lane_rngs);  // [B, L, 2H]
+  Tensor emissions2 = emission_->Forward(tensor::Reshape(
+      encoded, Shape{batch.batch * batch.max_len, 2 * config_.hidden_dim}));
+  return tensor::Reshape(
+      emissions2, Shape{batch.batch, batch.max_len, config_.max_tags});
+}
+
+Tensor Backbone::Encode(const EncodedSentence& sentence, const Tensor& phi) const {
+  FEWNER_CHECK(sentence.length() > 0, "Encode on empty sentence");
+  // B=1 wrapper over the batched pipeline, continuing the standalone member
+  // dropout stream.  A single-lane batch has no padding, so this is the
+  // sentence-at-a-time computation verbatim.
+  EncodedBatch single = PackBatch({sentence});
+  Tensor encoded = EncodeBatchImpl(single, phi, {&dropout_rng_});
+  return tensor::Reshape(encoded,
+                         Shape{sentence.length(), 2 * config_.hidden_dim});
+}
+
+Tensor Backbone::EncodeBatch(const EncodedBatch& batch, const Tensor& phi) const {
+  std::vector<util::Rng> owned = ForkLaneRngs(static_cast<size_t>(batch.batch));
+  std::vector<util::Rng*> lane_rngs;
+  lane_rngs.reserve(owned.size());
+  for (util::Rng& rng : owned) lane_rngs.push_back(&rng);
+  return EncodeBatchImpl(batch, phi, lane_rngs);
 }
 
 Tensor Backbone::Emissions(const EncodedSentence& sentence, const Tensor& phi) const {
-  return emission_->Forward(Encode(sentence, phi));
+  FEWNER_CHECK(sentence.length() > 0, "Emissions on empty sentence");
+  EncodedBatch single = PackBatch({sentence});
+  Tensor emissions = EmissionsBatchImpl(single, phi, {&dropout_rng_});
+  return tensor::Reshape(emissions, Shape{sentence.length(), config_.max_tags});
+}
+
+Tensor Backbone::EmissionsBatch(const EncodedBatch& batch, const Tensor& phi) const {
+  std::vector<util::Rng> owned = ForkLaneRngs(static_cast<size_t>(batch.batch));
+  std::vector<util::Rng*> lane_rngs;
+  lane_rngs.reserve(owned.size());
+  for (util::Rng& rng : owned) lane_rngs.push_back(&rng);
+  return EmissionsBatchImpl(batch, phi, lane_rngs);
 }
 
 Tensor Backbone::SentenceLoss(const EncodedSentence& sentence, const Tensor& phi,
@@ -121,12 +278,53 @@ Tensor Backbone::BatchLoss(const std::vector<EncodedSentence>& sentences,
   // The paper's task loss is the SUM of sentence NLLs (L = -Σ p(y|h), §3.2.3);
   // the inner learning rate α = 0.1 is calibrated against this scale, so a
   // mean here would silently shrink every inner step by the support size.
+  //
+  // Sentence i draws dropout from the (episode, call, lane i) stream — the
+  // stream the batched overload hands lane i — which is what makes the two
+  // overloads bitwise-interchangeable.
+  std::vector<util::Rng> lane_rngs = ForkLaneRngs(sentences.size());
   Tensor total;
-  for (const EncodedSentence& sentence : sentences) {
-    Tensor loss = SentenceLoss(sentence, phi, valid_tags);
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    dropout_rng_ = lane_rngs[i];
+    Tensor loss = SentenceLoss(sentences[i], phi, valid_tags);
     total = total.defined() ? tensor::Add(total, loss) : loss;
   }
   return total;
+}
+
+Tensor Backbone::BatchLoss(const EncodedBatch& batch, const Tensor& phi,
+                           const std::vector<bool>& valid_tags) const {
+  FEWNER_CHECK(batch.batch > 0, "BatchLoss on empty batch");
+  std::vector<util::Rng> owned = ForkLaneRngs(static_cast<size_t>(batch.batch));
+  // Length-bucketed execution: each near-homogeneous lane run gets its own
+  // padded forward, so a ragged batch does not pay every lane at the longest
+  // lane's length.  Lane values are identical under any partition.
+  const std::vector<std::pair<int64_t, int64_t>> runs = LaneRuns(batch.lengths);
+  std::vector<Tensor> per_run;
+  per_run.reserve(runs.size());
+  for (const auto& [begin, count] : runs) {
+    EncodedBatch storage;
+    const EncodedBatch* sub = &batch;
+    if (runs.size() > 1) {
+      storage = SubBatch(batch, begin, count);
+      sub = &storage;
+    }
+    std::vector<util::Rng*> lane_rngs;
+    lane_rngs.reserve(static_cast<size_t>(count));
+    for (int64_t b = begin; b < begin + count; ++b) {
+      lane_rngs.push_back(&owned[static_cast<size_t>(b)]);
+    }
+    Tensor emissions = EmissionsBatchImpl(*sub, phi, lane_rngs);
+    per_run.push_back(crf_->NegLogLikelihoodBatch(emissions, sub->tags,
+                                                  sub->lengths, &valid_tags));
+  }
+  // Runs are contiguous and ascending, so the concatenated lane NLLs sit in
+  // batch order; SumAllFloat folds them with the same left-associated scalar
+  // float adds as the per-sentence overload, so the totals agree bitwise,
+  // not just to rounding.
+  Tensor per_lane = per_run.size() == 1 ? per_run.front()
+                                        : tensor::Concat(per_run, 0);
+  return tensor::SumAllFloat(per_lane);
 }
 
 std::vector<int64_t> Backbone::Decode(const EncodedSentence& sentence,
@@ -137,6 +335,37 @@ std::vector<int64_t> Backbone::Decode(const EncodedSentence& sentence,
   // EvalMode no graph was built, so the copy would only burn an allocation.
   if (!tensor::EvalMode::active()) emissions = emissions.Detach();
   return crf_->Viterbi(emissions, &valid_tags);
+}
+
+std::vector<std::vector<int64_t>> Backbone::DecodeBatch(
+    const EncodedBatch& batch, const Tensor& phi,
+    const std::vector<bool>& valid_tags) const {
+  FEWNER_CHECK(batch.batch > 0, "DecodeBatch on empty batch");
+  std::vector<util::Rng> owned = ForkLaneRngs(static_cast<size_t>(batch.batch));
+  const std::vector<std::pair<int64_t, int64_t>> runs = LaneRuns(batch.lengths);
+  std::vector<std::vector<int64_t>> paths;
+  paths.reserve(static_cast<size_t>(batch.batch));
+  for (const auto& [begin, count] : runs) {
+    EncodedBatch storage;
+    const EncodedBatch* sub = &batch;
+    if (runs.size() > 1) {
+      storage = SubBatch(batch, begin, count);
+      sub = &storage;
+    }
+    std::vector<util::Rng*> lane_rngs;
+    lane_rngs.reserve(static_cast<size_t>(count));
+    for (int64_t b = begin; b < begin + count; ++b) {
+      lane_rngs.push_back(&owned[static_cast<size_t>(b)]);
+    }
+    Tensor emissions = EmissionsBatchImpl(*sub, phi, lane_rngs);
+    // As in Decode: cut the decode out of a live autodiff graph; under
+    // EvalMode no graph was built, so the copy would only burn an allocation.
+    if (!tensor::EvalMode::active()) emissions = emissions.Detach();
+    std::vector<std::vector<int64_t>> run_paths =
+        crf_->ViterbiBatch(emissions, sub->lengths, &valid_tags);
+    for (auto& path : run_paths) paths.push_back(std::move(path));
+  }
+  return paths;
 }
 
 }  // namespace fewner::models

@@ -66,13 +66,27 @@ class Backbone : public nn::Module {
   Backbone(const BackboneConfig& config, util::Rng* rng);
 
   /// Context-encoded token features [L, 2H]; φ must be defined iff the
-  /// conditioning mode uses it (pass ZeroContext() when in doubt).
+  /// conditioning mode uses it (pass ZeroContext() when in doubt).  A B=1
+  /// wrapper over the batched pipeline, drawing dropout from the standalone
+  /// member stream.
   tensor::Tensor Encode(const EncodedSentence& sentence,
                         const tensor::Tensor& phi) const;
+
+  /// Batched context-encoded features [B, Lmax, 2H] with FiLM/concat
+  /// conditioning broadcast over all lanes.  Lane b's first lengths[b] rows
+  /// are bitwise-equal to Encode on that sentence alone (given matching
+  /// dropout streams); padding rows are unspecified and must be masked by
+  /// consumers.
+  tensor::Tensor EncodeBatch(const EncodedBatch& batch,
+                             const tensor::Tensor& phi) const;
 
   /// CRF emission scores [L, max_tags].
   tensor::Tensor Emissions(const EncodedSentence& sentence,
                            const tensor::Tensor& phi) const;
+
+  /// Batched CRF emission scores [B, Lmax, max_tags].
+  tensor::Tensor EmissionsBatch(const EncodedBatch& batch,
+                                const tensor::Tensor& phi) const;
 
   /// CRF negative log-likelihood of the sentence's gold tags.
   tensor::Tensor SentenceLoss(const EncodedSentence& sentence,
@@ -80,15 +94,30 @@ class Backbone : public nn::Module {
                               const std::vector<bool>& valid_tags) const;
 
   /// Summed NLL over a set of sentences (the task loss L_T of Eq. 5/6;
-  /// the paper defines L = -Σ p(y|h)).
+  /// the paper defines L = -Σ p(y|h)).  Sentence i draws dropout from the
+  /// per-lane stream (episode, call, lane i) — the same stream the batched
+  /// overload gives lane i — so the two overloads are bitwise-interchangeable.
   tensor::Tensor BatchLoss(const std::vector<EncodedSentence>& sentences,
                            const tensor::Tensor& phi,
+                           const std::vector<bool>& valid_tags) const;
+
+  /// Batch-first task loss: one batched forward + one batched CRF NLL over
+  /// all lanes, folded in lane order with the same left-associated scalar
+  /// adds as the per-sentence overload.  This is the inner-loop fast path;
+  /// second-order meta-gradients flow through it like any other op chain.
+  tensor::Tensor BatchLoss(const EncodedBatch& batch, const tensor::Tensor& phi,
                            const std::vector<bool>& valid_tags) const;
 
   /// Viterbi decode of one sentence.
   std::vector<int64_t> Decode(const EncodedSentence& sentence,
                               const tensor::Tensor& phi,
                               const std::vector<bool>& valid_tags) const;
+
+  /// Batched Viterbi decode: one batched forward, then per-lane decoding of
+  /// each lane's real prefix.  The query-serving fast path under EvalMode.
+  std::vector<std::vector<int64_t>> DecodeBatch(
+      const EncodedBatch& batch, const tensor::Tensor& phi,
+      const std::vector<bool>& valid_tags) const;
 
   /// Fresh zero context vector (requires_grad, ready for inner-loop descent).
   /// Undefined tensor when conditioning is kNone.
@@ -114,8 +143,29 @@ class Backbone : public nn::Module {
   void set_dropout_base(const util::Rng& base) { dropout_base_ = base; }
 
  private:
-  /// Word + character input representation [L, word_dim (+ char features)].
-  tensor::Tensor InputRepresentation(const EncodedSentence& sentence) const;
+  /// The shared batched pipeline.  `lane_rngs[b]` supplies lane b's dropout
+  /// draws (input mask first, then hidden mask — the per-sentence order).
+  tensor::Tensor EncodeBatchImpl(const EncodedBatch& batch,
+                                 const tensor::Tensor& phi,
+                                 const std::vector<util::Rng*>& lane_rngs) const;
+
+  tensor::Tensor EmissionsBatchImpl(const EncodedBatch& batch,
+                                    const tensor::Tensor& phi,
+                                    const std::vector<util::Rng*>& lane_rngs) const;
+
+  /// Length-masked inverted dropout over [B, Lmax, D]: lane b's rows t <
+  /// lengths[b] draw flat-row-major from lane_rngs[b] exactly as
+  /// tensor::Dropout draws for the [len, D] per-sentence tensor; padding rows
+  /// get a 0 mask (dropped) without consuming draws.
+  tensor::Tensor LaneDropout(const tensor::Tensor& x,
+                             const EncodedBatch& batch,
+                             const std::vector<util::Rng*>& lane_rngs) const;
+
+  /// Forks the per-lane dropout streams for the next BatchLoss-style call:
+  /// stream id (call_index << 32) | lane, under the episode fork.  Advancing
+  /// the call counter decorrelates successive inner steps (and the query
+  /// pass) while staying a pure function of (episode id, call index, lane).
+  std::vector<util::Rng> ForkLaneRngs(size_t lanes) const;
 
   BackboneConfig config_;
   std::unique_ptr<nn::Embedding> word_embedding_;
@@ -126,7 +176,9 @@ class Backbone : public nn::Module {
   std::unique_ptr<nn::Linear> emission_;
   std::unique_ptr<crf::LinearChainCrf> crf_;
   util::Rng dropout_base_;
-  mutable util::Rng dropout_rng_;
+  mutable util::Rng dropout_episode_;  ///< episode fork; lane streams hang off it
+  mutable uint64_t dropout_call_ = 0;  ///< BatchLoss calls since ReseedDropout
+  mutable util::Rng dropout_rng_;      ///< standalone (non-lane) stream
 };
 
 }  // namespace fewner::models

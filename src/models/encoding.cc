@@ -1,9 +1,37 @@
 #include "models/encoding.h"
 
+#include <algorithm>
+
 #include "text/bio.h"
 #include "util/status.h"
 
 namespace fewner::models {
+
+EncodedBatch PackBatch(const std::vector<EncodedSentence>& sentences) {
+  FEWNER_CHECK(!sentences.empty(), "PackBatch of zero sentences");
+  EncodedBatch batch;
+  batch.batch = static_cast<int64_t>(sentences.size());
+  batch.lengths.reserve(sentences.size());
+  for (const EncodedSentence& s : sentences) {
+    FEWNER_CHECK(s.length() > 0, "PackBatch on empty sentence");
+    batch.lengths.push_back(s.length());
+    batch.max_len = std::max(batch.max_len, s.length());
+  }
+  const size_t flat = static_cast<size_t>(batch.batch * batch.max_len);
+  batch.word_ids.assign(flat, 0);
+  batch.char_ids.assign(flat, {});
+  batch.tags.assign(flat, 0);
+  for (size_t b = 0; b < sentences.size(); ++b) {
+    const EncodedSentence& s = sentences[b];
+    const size_t base = b * static_cast<size_t>(batch.max_len);
+    for (size_t t = 0; t < s.word_ids.size(); ++t) {
+      batch.word_ids[base + t] = s.word_ids[t];
+      batch.char_ids[base + t] = s.char_ids[t];
+      batch.tags[base + t] = s.tags[t];
+    }
+  }
+  return batch;
+}
 
 EpisodeEncoder::EpisodeEncoder(const text::Vocab* word_vocab,
                                const text::Vocab* char_vocab, int64_t max_tags)

@@ -29,6 +29,27 @@ struct EncodedEpisode {
   std::vector<bool> valid_tags;  ///< mask over the model's max_tags inventory
 };
 
+/// A padded, length-masked batch of sentences in `[B, Lmax]` layout — the unit
+/// of work for the batch-first pipeline (Backbone::EncodeBatch and friends).
+/// Lane b occupies flat positions [b*max_len, b*max_len + lengths[b]); the
+/// tail of each lane is padding (word id 0, empty char sequence, tag 0) that
+/// every consumer masks by `lengths`.
+struct EncodedBatch {
+  int64_t batch = 0;                            ///< B, number of lanes
+  int64_t max_len = 0;                          ///< Lmax, padded length
+  std::vector<int64_t> lengths;                 ///< [B] real sentence lengths
+  std::vector<int64_t> word_ids;                ///< [B * Lmax], pad id 0
+  std::vector<std::vector<int64_t>> char_ids;   ///< [B * Lmax], pad token empty
+  std::vector<int64_t> tags;                    ///< [B * Lmax], pad tag 0
+
+  int64_t flat_size() const { return batch * max_len; }
+};
+
+/// Packs sentences into a padded batch, lane i = sentences[i].  Pure layout —
+/// lane order is the caller's sentence order, so a per-lane consumer sees
+/// exactly the same token/tag streams as the sentence-at-a-time path.
+EncodedBatch PackBatch(const std::vector<EncodedSentence>& sentences);
+
 /// Encodes sentences/episodes against fixed vocabularies.  Word lookup is
 /// lowercased, characters are cased (paper §4.1.3); test-time words missing
 /// from the training vocabulary map to <unk>, which is what makes the

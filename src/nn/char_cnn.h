@@ -31,6 +31,15 @@ class CharCnn : public Module {
   /// Returns [num_words, output_dim()].
   tensor::Tensor Forward(const std::vector<std::vector<int64_t>>& chars) const;
 
+  /// Convolves all tokens of a padded batch in one shot: one embedding gather,
+  /// one GEMM per filter width over every window of every token.  `chars`
+  /// holds the character ids of all B*Lmax tokens in lane-major order (padding
+  /// tokens may be empty).  Returns [chars.size(), output_dim()], row i
+  /// bitwise-equal to the per-word path on chars[i]: windows that exist only
+  /// because of cross-token padding are pushed below zero with an additive
+  /// -1e30 before max-over-time, which never wins against a ReLU output.
+  tensor::Tensor ForwardBatch(const std::vector<std::vector<int64_t>>& chars) const;
+
   /// Total feature size: filter_widths.size() * filters_per_width.
   int64_t output_dim() const;
 
@@ -39,6 +48,7 @@ class CharCnn : public Module {
   tensor::Tensor EncodeWord(const std::vector<int64_t>& chars) const;
 
   CharCnnConfig config_;
+  int64_t max_width_ = 0;  ///< widest filter; minimum padded word length
   std::unique_ptr<Embedding> char_embedding_;
   std::vector<std::unique_ptr<Linear>> filters_;  ///< one [w*char_dim -> F] per width
 };

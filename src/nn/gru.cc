@@ -76,4 +76,75 @@ Tensor BiGru::Forward(const Tensor& x) const {
   return tensor::Concat({fwd, bwd}, 1);  // [L, 2H]
 }
 
+void BuildStepMasks(const std::vector<int64_t>& lengths, int64_t max_len,
+                    std::vector<Tensor>* masks, std::vector<bool>* full) {
+  const int64_t lanes = static_cast<int64_t>(lengths.size());
+  masks->resize(static_cast<size_t>(max_len));
+  full->assign(static_cast<size_t>(max_len), false);
+  for (int64_t t = 0; t < max_len; ++t) {
+    std::vector<float> m(static_cast<size_t>(lanes), 0.0f);
+    bool all = true;
+    for (int64_t b = 0; b < lanes; ++b) {
+      if (t < lengths[static_cast<size_t>(b)]) {
+        m[static_cast<size_t>(b)] = 1.0f;
+      } else {
+        all = false;
+      }
+    }
+    (*full)[static_cast<size_t>(t)] = all;
+    if (!all) {
+      (*masks)[static_cast<size_t>(t)] =
+          Tensor::FromData(Shape{lanes, 1}, std::move(m));
+    }
+  }
+}
+
+Tensor BiGru::RunDirectionBatch(const GruCell& cell, const Tensor& x,
+                                const std::vector<Tensor>& step_masks,
+                                const std::vector<bool>& step_full,
+                                bool reverse) const {
+  const int64_t lanes = x.shape().dim(0);
+  const int64_t length = x.shape().dim(1);
+  const int64_t input = x.shape().dim(2);
+  // One hoisted GEMM for the whole batch; rows are bitwise-independent under
+  // the ascending-k kernel contract, so row (b, t) matches the per-sentence
+  // projection of sentence b's row t exactly.
+  Tensor projected = cell.ProjectInput(
+      tensor::Reshape(x, Shape{lanes * length, input}));  // [B*L, 3H]
+  Tensor projected3 =
+      tensor::Reshape(projected, Shape{lanes, length, 3 * hidden_dim_});
+  Tensor h = Tensor::Zeros(Shape{lanes, hidden_dim_});
+  std::vector<Tensor> states(static_cast<size_t>(length));
+  for (int64_t step = 0; step < length; ++step) {
+    const int64_t t = reverse ? length - 1 - step : step;
+    Tensor rows = tensor::Reshape(tensor::Slice(projected3, 1, t, 1),
+                                  Shape{lanes, 3 * hidden_dim_});
+    Tensor h_new = cell.Step(rows, h);
+    // Inactive lanes (padding tail; in reverse, lanes whose sentence has not
+    // started yet) carry their state through unchanged.  Where copies the
+    // selected operand, so the carry is exact — active lanes see precisely
+    // the per-sentence recurrence.
+    h = step_full[static_cast<size_t>(t)]
+            ? h_new
+            : tensor::Where(step_masks[static_cast<size_t>(t)], h_new, h);
+    states[static_cast<size_t>(t)] =
+        tensor::Reshape(h, Shape{lanes, 1, hidden_dim_});
+  }
+  return tensor::Concat(states, 1);  // [B, L, H]
+}
+
+Tensor BiGru::ForwardBatch(const Tensor& x,
+                           const std::vector<int64_t>& lengths) const {
+  FEWNER_CHECK(x.rank() == 3, "BiGru::ForwardBatch expects [B, L, input], got "
+                                  << x.shape().ToString());
+  FEWNER_CHECK(static_cast<int64_t>(lengths.size()) == x.shape().dim(0),
+               "BiGru::ForwardBatch lengths/batch mismatch");
+  std::vector<Tensor> masks;
+  std::vector<bool> full;
+  BuildStepMasks(lengths, x.shape().dim(1), &masks, &full);
+  Tensor fwd = RunDirectionBatch(*forward_cell_, x, masks, full, /*reverse=*/false);
+  Tensor bwd = RunDirectionBatch(*backward_cell_, x, masks, full, /*reverse=*/true);
+  return tensor::Concat({fwd, bwd}, 2);  // [B, L, 2H]
+}
+
 }  // namespace fewner::nn

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "nn/module.h"
 #include "tensor/tensor.h"
@@ -25,7 +26,9 @@ class GruCell : public Module {
   /// Hoisting this matmul out of the recurrence is the standard optimization.
   tensor::Tensor ProjectInput(const tensor::Tensor& x) const;
 
-  /// One step given a pre-projected input row [1, 3H] and state [1, H].
+  /// One step given pre-projected input rows [B, 3H] and states [B, H] (B=1
+  /// for the sentence-at-a-time path).  Every op inside is per-row, so lane b
+  /// of a batched step is bitwise-equal to a B=1 step on that lane alone.
   tensor::Tensor Step(const tensor::Tensor& projected_row,
                       const tensor::Tensor& h) const;
 
@@ -49,6 +52,14 @@ class BiGru : public Module {
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
+  /// Batched time loop over padded lanes: [B, L, input] -> [B, L, 2H], one
+  /// GEMM per timestep per direction over all B lanes.  Lane b is active at
+  /// step t iff t < lengths[b]; finished (or, in reverse, not-yet-started)
+  /// lanes carry their state through unchanged via an exact Where select, so
+  /// lane b's real positions are bitwise-equal to Forward on that sentence.
+  tensor::Tensor ForwardBatch(const tensor::Tensor& x,
+                              const std::vector<int64_t>& lengths) const;
+
   int64_t output_dim() const { return 2 * hidden_dim_; }
   int64_t hidden_dim() const { return hidden_dim_; }
 
@@ -57,9 +68,22 @@ class BiGru : public Module {
   tensor::Tensor RunDirection(const GruCell& cell, const tensor::Tensor& x,
                               bool reverse) const;
 
+  tensor::Tensor RunDirectionBatch(const GruCell& cell, const tensor::Tensor& x,
+                                   const std::vector<tensor::Tensor>& step_masks,
+                                   const std::vector<bool>& step_full,
+                                   bool reverse) const;
+
   int64_t hidden_dim_;
   std::unique_ptr<GruCell> forward_cell_;
   std::unique_ptr<GruCell> backward_cell_;
 };
+
+/// Per-step lane activity masks for a padded batch: element t is a [B, 1]
+/// tensor with 1.0 where t < lengths[b], plus a parallel all-lanes-active
+/// flag so full steps can skip the Where select entirely.  Shared by BiGru
+/// and BiLstm.
+void BuildStepMasks(const std::vector<int64_t>& lengths, int64_t max_len,
+                    std::vector<tensor::Tensor>* masks,
+                    std::vector<bool>* full);
 
 }  // namespace fewner::nn

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "nn/gru.h"  // BuildStepMasks
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -76,6 +77,54 @@ Tensor BiLstm::Forward(const Tensor& x) const {
   Tensor fwd = RunDirection(*forward_cell_, x, /*reverse=*/false);
   Tensor bwd = RunDirection(*backward_cell_, x, /*reverse=*/true);
   return tensor::Concat({fwd, bwd}, 1);
+}
+
+Tensor BiLstm::RunDirectionBatch(const LstmCell& cell, const Tensor& x,
+                                 const std::vector<Tensor>& step_masks,
+                                 const std::vector<bool>& step_full,
+                                 bool reverse) const {
+  const int64_t lanes = x.shape().dim(0);
+  const int64_t length = x.shape().dim(1);
+  const int64_t input = x.shape().dim(2);
+  Tensor projected = cell.ProjectInput(
+      tensor::Reshape(x, Shape{lanes * length, input}));  // [B*L, 4H]
+  Tensor projected3 =
+      tensor::Reshape(projected, Shape{lanes, length, 4 * hidden_dim_});
+  Tensor h = Tensor::Zeros(Shape{lanes, hidden_dim_});
+  Tensor c = Tensor::Zeros(Shape{lanes, hidden_dim_});
+  std::vector<Tensor> states(static_cast<size_t>(length));
+  for (int64_t step = 0; step < length; ++step) {
+    const int64_t t = reverse ? length - 1 - step : step;
+    Tensor rows = tensor::Reshape(tensor::Slice(projected3, 1, t, 1),
+                                  Shape{lanes, 4 * hidden_dim_});
+    Tensor h_next, c_next;
+    cell.Step(rows, h, c, &h_next, &c_next);
+    if (step_full[static_cast<size_t>(t)]) {
+      h = h_next;
+      c = c_next;
+    } else {
+      const Tensor& mask = step_masks[static_cast<size_t>(t)];
+      h = tensor::Where(mask, h_next, h);
+      c = tensor::Where(mask, c_next, c);
+    }
+    states[static_cast<size_t>(t)] =
+        tensor::Reshape(h, Shape{lanes, 1, hidden_dim_});
+  }
+  return tensor::Concat(states, 1);  // [B, L, H]
+}
+
+Tensor BiLstm::ForwardBatch(const Tensor& x,
+                            const std::vector<int64_t>& lengths) const {
+  FEWNER_CHECK(x.rank() == 3, "BiLstm::ForwardBatch expects [B, L, input], got "
+                                  << x.shape().ToString());
+  FEWNER_CHECK(static_cast<int64_t>(lengths.size()) == x.shape().dim(0),
+               "BiLstm::ForwardBatch lengths/batch mismatch");
+  std::vector<Tensor> masks;
+  std::vector<bool> full;
+  BuildStepMasks(lengths, x.shape().dim(1), &masks, &full);
+  Tensor fwd = RunDirectionBatch(*forward_cell_, x, masks, full, /*reverse=*/false);
+  Tensor bwd = RunDirectionBatch(*backward_cell_, x, masks, full, /*reverse=*/true);
+  return tensor::Concat({fwd, bwd}, 2);  // [B, L, 2H]
 }
 
 }  // namespace fewner::nn

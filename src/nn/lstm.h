@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "nn/module.h"
 #include "tensor/tensor.h"
@@ -49,12 +50,23 @@ class BiLstm : public Module {
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
+  /// Batched time loop over padded lanes: [B, L, input] -> [B, L, 2H].  Same
+  /// masking contract as BiGru::ForwardBatch — inactive lanes carry (h, c)
+  /// through unchanged via exact Where selects.
+  tensor::Tensor ForwardBatch(const tensor::Tensor& x,
+                              const std::vector<int64_t>& lengths) const;
+
   int64_t output_dim() const { return 2 * hidden_dim_; }
   int64_t hidden_dim() const { return hidden_dim_; }
 
  private:
   tensor::Tensor RunDirection(const LstmCell& cell, const tensor::Tensor& x,
                               bool reverse) const;
+
+  tensor::Tensor RunDirectionBatch(const LstmCell& cell, const tensor::Tensor& x,
+                                   const std::vector<tensor::Tensor>& step_masks,
+                                   const std::vector<bool>& step_full,
+                                   bool reverse) const;
 
   int64_t hidden_dim_;
   std::unique_ptr<LstmCell> forward_cell_;

@@ -116,6 +116,7 @@ struct BroadcastIndexer {
         in_strides[static_cast<size_t>(i + offset)] = strides[static_cast<size_t>(i)];
       }
     }
+    coords_.assign(static_cast<size_t>(out_rank), 0);
   }
 
   int64_t Map(int64_t out_flat) const {
@@ -129,8 +130,28 @@ struct BroadcastIndexer {
     return in_flat;
   }
 
+  /// Sequential form of Map: returns Map(k) for the k-th call (k = 0, 1, ...)
+  /// and advances the internal odometer one output element, propagating
+  /// carries.  Amortized O(1) per element where Map pays rank div/mods, which
+  /// matters in the hot broadcast loops below; the index sequence is identical.
+  int64_t Next() {
+    const int64_t result = cur_;
+    for (int64_t i = static_cast<int64_t>(out_dims.size()) - 1; i >= 0; --i) {
+      const size_t ui = static_cast<size_t>(i);
+      cur_ += in_strides[ui];
+      if (++coords_[ui] < out_dims[ui]) return result;
+      coords_[ui] = 0;
+      cur_ -= in_strides[ui] * out_dims[ui];
+    }
+    return result;  // wrapped past the last element; callers stop before this
+  }
+
   std::vector<int64_t> out_dims;
   std::vector<int64_t> in_strides;
+
+ private:
+  std::vector<int64_t> coords_;  // sized in the constructor, after out_dims
+  int64_t cur_ = 0;
 };
 
 using BinaryFn = float (*)(float, float);
@@ -194,7 +215,7 @@ Tensor ElementwiseBinary(const char* op, const Tensor& a, const Tensor& b, Binar
   const auto& av = a.data();
   const auto& bv = b.data();
   for (int64_t i = 0; i < n; ++i) {
-    ov[i] = f(av[static_cast<size_t>(ia.Map(i))], bv[static_cast<size_t>(ib.Map(i))]);
+    ov[i] = f(av[static_cast<size_t>(ia.Next())], bv[static_cast<size_t>(ib.Next())]);
   }
   if (EvalMode::active()) return SealEval(std::move(out));
   return SealGraph(std::move(out), {a, b}, make_backward());
@@ -416,6 +437,37 @@ Tensor Transpose(const Tensor& t) {
                    });
 }
 
+Tensor TransposeLast2(const Tensor& t) {
+  FEWNER_CHECK(t.rank() >= 2,
+               "TransposeLast2 requires rank >= 2, got " << t.shape().ToString());
+  if (t.rank() == 2) return Transpose(t);
+  const Shape& shape = t.shape();
+  const int64_t m = shape.dim(shape.rank() - 2);
+  const int64_t n = shape.dim(shape.rank() - 1);
+  int64_t outer = 1;
+  for (int64_t d = 0; d < shape.rank() - 2; ++d) outer *= shape.dim(d);
+  std::vector<int64_t> out_dims = shape.dims();
+  out_dims[static_cast<size_t>(shape.rank() - 2)] = n;
+  out_dims[static_cast<size_t>(shape.rank() - 1)] = m;
+  OpOutput out = NewOutput("transpose_last2", Shape{std::move(out_dims)});
+  float* ov = out.data();
+  const float* tv = t.data().data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = tv + o * m * n;
+    float* dst = ov + o * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        dst[j * m + i] = src[i * n + j];
+      }
+    }
+  }
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {TransposeLast2(grad)};
+                   });
+}
+
 Tensor BroadcastTo(const Tensor& t, Shape shape) {
   if (t.shape() == shape) return t;
   FEWNER_CHECK(t.shape().BroadcastableTo(shape),
@@ -426,7 +478,7 @@ Tensor BroadcastTo(const Tensor& t, Shape shape) {
   float* ov = out.data();
   const float* tv = t.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    ov[i] = tv[indexer.Map(i)];
+    ov[i] = tv[indexer.Next()];
   }
   if (EvalMode::active()) return SealEval(std::move(out));
   Shape in_shape = t.shape();
@@ -446,7 +498,7 @@ Tensor SumTo(const Tensor& t, Shape shape) {
   float* ov = out.data();
   const float* tv = t.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    ov[indexer.Map(i)] += tv[i];
+    ov[indexer.Next()] += tv[i];
   }
   if (EvalMode::active()) return SealEval(std::move(out));
   Shape in_shape = t.shape();
@@ -567,6 +619,23 @@ Tensor SumAll(const Tensor& t) {
                    });
 }
 
+Tensor SumAllFloat(const Tensor& t) {
+  const auto& tv = t.data();
+  FEWNER_CHECK(!tv.empty(), "SumAllFloat on empty tensor");
+  // Seed from the first element, not 0.0f: the fold being reproduced starts
+  // at its first term, and 0.0f + x is not an identity for x == -0.0f.
+  float total = tv[0];
+  for (size_t i = 1; i < tv.size(); ++i) total += tv[i];
+  OpOutput out = NewOutput("sum_all_float", Shape{});
+  out.data()[0] = total;
+  if (EvalMode::active()) return SealEval(std::move(out));
+  Shape in_shape = t.shape();
+  return SealGraph(std::move(out), {t},
+                   [in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {BroadcastTo(grad, in_shape)};
+                   });
+}
+
 Tensor SumAxis(const Tensor& t, int64_t axis, bool keepdim) {
   const Shape& shape = t.shape();
   FEWNER_CHECK(axis >= 0 && axis < shape.rank(), "SumAxis axis out of range");
@@ -584,6 +653,28 @@ Tensor SumAxis(const Tensor& t, int64_t axis, bool keepdim) {
 
 Tensor MeanAll(const Tensor& t) {
   return MulScalar(SumAll(t), 1.0f / static_cast<float>(t.numel()));
+}
+
+Tensor RowSum(const Tensor& t) {
+  FEWNER_CHECK(t.rank() == 2, "RowSum requires rank 2, got " << t.shape().ToString());
+  const int64_t r = t.shape().dim(0);
+  const int64_t c = t.shape().dim(1);
+  OpOutput out = NewOutput("row_sum", Shape{r});
+  float* ov = out.data();
+  const float* tv = t.data().data();
+  for (int64_t i = 0; i < r; ++i) {
+    // Double accumulation in ascending column order: bitwise-identical to
+    // SumAll restricted to this row's elements.
+    double total = 0.0;
+    for (int64_t j = 0; j < c; ++j) total += tv[i * c + j];
+    ov[i] = static_cast<float>(total);
+  }
+  if (EvalMode::active()) return SealEval(std::move(out));
+  Shape in_shape = t.shape();
+  return SealGraph(std::move(out), {t},
+                   [r, in_shape](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {BroadcastTo(Reshape(grad, Shape{r, 1}), in_shape)};
+                   });
 }
 
 Tensor MaxAxis(const Tensor& t, int64_t axis, bool keepdim) {
@@ -757,6 +848,103 @@ Tensor Fold1d(const Tensor& t, int64_t window) {
   return SealGraph(std::move(out), {t},
                    [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
                      return {Unfold1d(grad, window)};
+                   });
+}
+
+Tensor UnfoldTimeBatch(const Tensor& t, int64_t window) {
+  FEWNER_CHECK(t.rank() == 3, "UnfoldTimeBatch requires rank 3");
+  const int64_t lanes = t.shape().dim(0);
+  const int64_t length = t.shape().dim(1);
+  const int64_t d = t.shape().dim(2);
+  FEWNER_CHECK(window >= 1 && window <= length,
+               "UnfoldTimeBatch window " << window << " for length " << length);
+  const int64_t m = length - window + 1;
+  OpOutput out = NewOutput("unfold_time_batch", Shape{lanes, m, window * d});
+  float* ov = out.data();
+  const float* tv = t.data().data();
+  for (int64_t b = 0; b < lanes; ++b) {
+    const float* src = tv + b * length * d;
+    float* dst = ov + b * m * window * d;
+    for (int64_t i = 0; i < m; ++i) {
+      std::memcpy(dst + i * window * d, src + i * d,
+                  static_cast<size_t>(window * d) * sizeof(float));
+    }
+  }
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {FoldTimeBatch(grad, window)};
+                   });
+}
+
+Tensor FoldTimeBatch(const Tensor& t, int64_t window) {
+  FEWNER_CHECK(t.rank() == 3, "FoldTimeBatch requires rank 3");
+  const int64_t lanes = t.shape().dim(0);
+  const int64_t m = t.shape().dim(1);
+  const int64_t wd = t.shape().dim(2);
+  FEWNER_CHECK(window >= 1 && wd % window == 0,
+               "FoldTimeBatch: window " << window << " does not divide row size " << wd);
+  const int64_t d = wd / window;
+  const int64_t length = m + window - 1;
+  OpOutput out = NewOutput("fold_time_batch", Shape{lanes, length, d}, /*zero=*/true);
+  float* ov = out.data();
+  const float* tv = t.data().data();
+  for (int64_t b = 0; b < lanes; ++b) {
+    const float* src = tv + b * m * wd;
+    float* dst = ov + b * length * d;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t w = 0; w < window; ++w) {
+        for (int64_t j = 0; j < d; ++j) {
+          dst[(i + w) * d + j] += src[i * wd + w * d + j];
+        }
+      }
+    }
+  }
+  if (EvalMode::active()) return SealEval(std::move(out));
+  return SealGraph(std::move(out), {t},
+                   [window](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     return {UnfoldTimeBatch(grad, window)};
+                   });
+}
+
+Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  FEWNER_CHECK(cond.defined() && a.defined() && b.defined(), "Where on undefined tensor");
+  FEWNER_CHECK(a.shape() == b.shape(), "Where branch shape mismatch: "
+                                           << a.shape().ToString() << " vs "
+                                           << b.shape().ToString());
+  FEWNER_CHECK(cond.shape().BroadcastableTo(a.shape()),
+               "Where cond " << cond.shape().ToString() << " not broadcastable to "
+                             << a.shape().ToString());
+  const bool graph = !EvalMode::active();
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  const auto& cv = cond.data();
+  const int64_t n = a.numel();
+  OpOutput out = NewOutput("where", a.shape());
+  float* ov = out.data();
+  // Selection masks for backward: constant a.e., exact like Relu's kink mask.
+  std::vector<float> sel;
+  if (graph) sel.assign(static_cast<size_t>(n), 0.0f);
+  if (cond.shape() == a.shape()) {
+    for (int64_t i = 0; i < n; ++i) {
+      const bool take_a = cv[static_cast<size_t>(i)] != 0.0f;
+      ov[i] = take_a ? av[static_cast<size_t>(i)] : bv[static_cast<size_t>(i)];
+      if (graph && take_a) sel[static_cast<size_t>(i)] = 1.0f;
+    }
+  } else {
+    BroadcastIndexer indexer(cond.shape(), a.shape());
+    for (int64_t i = 0; i < n; ++i) {
+      const bool take_a = cv[static_cast<size_t>(indexer.Next())] != 0.0f;
+      ov[i] = take_a ? av[static_cast<size_t>(i)] : bv[static_cast<size_t>(i)];
+      if (graph && take_a) sel[static_cast<size_t>(i)] = 1.0f;
+    }
+  }
+  if (!graph) return SealEval(std::move(out));
+  Tensor sel_t = Tensor::FromData(a.shape(), std::move(sel));
+  return SealGraph(std::move(out), {a, b},
+                   [sel_t](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
+                     Tensor inv = AddScalar(Neg(sel_t), 1.0f);
+                     return {Mul(grad, sel_t), Mul(grad, inv)};
                    });
 }
 

@@ -49,6 +49,10 @@ Tensor Reshape(const Tensor& t, Shape shape);
 /// 2-D transpose.
 Tensor Transpose(const Tensor& t);
 
+/// Swaps the last two axes of a rank >= 2 tensor: [..., m, n] -> [..., n, m].
+/// The batched analogue of Transpose for [B, Y, Y] score matrices.
+Tensor TransposeLast2(const Tensor& t);
+
 /// Replicates to `shape`; `t.shape()` must be broadcastable to it.
 Tensor BroadcastTo(const Tensor& t, Shape shape);
 
@@ -66,11 +70,25 @@ Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length);
 /// Sum of all elements as a rank-0 scalar.
 Tensor SumAll(const Tensor& t);
 
+/// Sum of all elements as a rank-0 scalar, accumulated in SINGLE precision
+/// left-to-right over the flat elements — bitwise-identical to folding the
+/// elements with a chain of scalar float Adds.  Use when a serial Add fold
+/// must be reproduced exactly (batched task losses); prefer SumAll (double
+/// accumulation) everywhere else.
+Tensor SumAllFloat(const Tensor& t);
+
 /// Sum along one axis; keepdim retains the axis with size 1.
 Tensor SumAxis(const Tensor& t, int64_t axis, bool keepdim);
 
 /// Mean of all elements as a rank-0 scalar.
 Tensor MeanAll(const Tensor& t);
+
+/// Per-row sum of an [R, C] matrix as a rank-1 [R] tensor.  Each row
+/// accumulates in double precision in ascending column order — the same
+/// summation SumAll performs over a whole tensor — so lane r of a padded
+/// batch reproduces SumAll over that lane's rows bitwise (trailing zero pad
+/// contributions are exact no-ops in double).
+Tensor RowSum(const Tensor& t);
 
 /// Max along one axis (keepdim semantics as SumAxis).  The sub-gradient flows
 /// to the (first) argmax position.
@@ -97,6 +115,22 @@ Tensor Unfold1d(const Tensor& t, int64_t window);
 
 /// Adjoint of Unfold1d: overlap-adds [M, w*D] windows back into [M+w-1, D].
 Tensor Fold1d(const Tensor& t, int64_t window);
+
+/// Batched sliding windows: [N, T, D] -> [N, T-w+1, w*D], each lane unfolded
+/// independently exactly as Unfold1d would unfold its [T, D] slice.
+Tensor UnfoldTimeBatch(const Tensor& t, int64_t window);
+
+/// Adjoint of UnfoldTimeBatch: overlap-adds [N, M, w*D] back into
+/// [N, M+w-1, D] per lane.
+Tensor FoldTimeBatch(const Tensor& t, int64_t window);
+
+/// Elementwise select: result[i] = cond[i] != 0 ? a[i] : b[i].  `cond` is
+/// treated as a constant (no gradient) and must be broadcastable to the
+/// common shape of `a` and `b` (which must match).  Unlike the arithmetic
+/// blend cond*a + (1-cond)*b, this *copies* the selected operand, so masked
+/// lanes in a batched recurrence carry state through bitwise-unchanged
+/// (an arithmetic blend would flip -0.0 to +0.0 and is one more rounding).
+Tensor Where(const Tensor& cond, const Tensor& a, const Tensor& b);
 
 // ----- composites -----
 

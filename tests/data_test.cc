@@ -309,6 +309,21 @@ TEST_F(SamplerTest, DifferentIdsDiffer) {
   EXPECT_TRUE(a.types != b.types || a.support != b.support);
 }
 
+TEST_F(SamplerTest, SupportAndQueryAreLengthSortedLongestFirst) {
+  // Batch-first execution pads each set to its max length, so the sampler
+  // hands out both sets longest-first (stable, deterministic per id).
+  EpisodeSampler sampler(&corpus_, types_, 5, 2, 6, 31);
+  for (uint64_t id = 0; id < 10; ++id) {
+    Episode episode = sampler.Sample(id);
+    for (const auto* set : {&episode.support, &episode.query}) {
+      for (size_t i = 1; i < set->size(); ++i) {
+        EXPECT_GE((*set)[i - 1]->tokens.size(), (*set)[i]->tokens.size())
+            << "episode " << id << " position " << i;
+      }
+    }
+  }
+}
+
 TEST_F(SamplerTest, RespectsQuerySizeCap) {
   EpisodeSampler sampler(&corpus_, types_, 5, 1, 3, 77);
   Episode episode = sampler.Sample(0);
