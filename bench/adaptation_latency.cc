@@ -1,0 +1,310 @@
+// Per-task adapt+serve latency with and without the frozen-θ prefix cache.
+//
+// FEWNER's test-time loop (paper Algorithm 1) freezes θ and descends only the
+// low-dimensional φ — but the uncached implementation re-runs the whole
+// θ-encoder (embeddings + CharCNN + BiGRU) over the support batch at every
+// inner step, and again over the query batch at serve time.  The cached path
+// (DESIGN.md §8) encodes each batch's θ-prefix once and runs all inner steps
+// and the decode on the φ-suffix only, so S−1 support encodes plus the
+// redundant query work disappear.
+//
+// Each cell adapts a task from scratch and tags its query set, both ways:
+//
+//   uncached — per-step Backbone::BatchLoss forwards (the pre-cache
+//              AdaptContextOn), then DecodeBatch under EvalMode.
+//   cached   — Fewner::AdaptContextOn (θ-prefix once, φ-suffix per step),
+//              then EncodePrefix + DecodeBatchFromPrefix under EvalMode.
+//
+// Correctness is gated before any timing: the cached φ* must be bitwise-equal
+// to the uncached φ* and the served tag sequences identical, so a speedup can
+// never be bought with a numerics regression.  Swept over inner_steps and K;
+// `--json <path>` writes the table for the in-repo perf trajectory
+// (BENCH_adaptation.json) and CI artifacts.
+//
+//   ./adaptation_latency --inner-steps 1,5,10 --shots 1,5 --json out.json
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "data/episode_sampler.h"
+#include "data/synthetic.h"
+#include "meta/fewner.h"
+#include "models/backbone.h"
+#include "models/encoding.h"
+#include "tensor/autodiff.h"
+#include "tensor/eval_mode.h"
+#include "tensor/ops.h"
+#include "text/bio.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fewner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tensor::Tensor;
+
+/// The pre-cache test-time inner loop: one full BatchLoss forward per step.
+/// Mirrors Fewner::AdaptContextOn's descent exactly (clip 5.0, re-leaf) so
+/// the two paths are comparable step for step.
+Tensor AdaptUncached(const models::Backbone& net,
+                     const models::EncodedBatch& support,
+                     const std::vector<bool>& valid_tags, int64_t steps,
+                     float inner_lr) {
+  Tensor phi = net.ZeroContext();
+  for (int64_t k = 0; k < steps; ++k) {
+    Tensor loss = net.BatchLoss(support, phi, valid_tags);
+    Tensor grad = tensor::autodiff::Grad(loss, {phi})[0];
+    double norm_sq = 0.0;
+    for (float v : grad.data()) norm_sq += static_cast<double>(v) * v;
+    const float norm = static_cast<float>(std::sqrt(norm_sq));
+    const float clip_scale = norm > 5.0f ? 5.0f / norm : 1.0f;
+    phi = tensor::Sub(phi, tensor::MulScalar(grad, inner_lr * clip_scale));
+    Tensor leaf = phi.Detach();
+    leaf.set_requires_grad(true);
+    phi = leaf;
+  }
+  return phi;
+}
+
+/// Runs `task` repeatedly until `min_seconds` of wall time; returns ms/task.
+template <typename F>
+double MeasureMsPerTask(double min_seconds, F task) {
+  task();  // warm-up: one-time allocations and arena growth
+  int64_t count = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    task();
+    ++count;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return elapsed * 1000.0 / static_cast<double>(count);
+}
+
+std::vector<int64_t> ParseIntList(const std::string& value, const char* flag) {
+  std::vector<int64_t> out;
+  for (const std::string& s : util::Split(value, ',')) {
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (s.empty() || *end != '\0' || v < 1) {
+      std::cerr << "invalid " << flag << " entry '" << s << "'\n";
+      std::exit(1);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddString("inner-steps", "1,5,10", "comma list of adaptation steps");
+  flags.AddString("shots", "1,5", "comma list of K (support shots per type)");
+  flags.AddInt("query-size", 6,
+               "query sentences served per task (the default matches the "
+               "harness-wide eval episode size)");
+  flags.AddInt("n-way", 5, "entity types per task (paper episodes: 5-way)");
+  flags.AddInt("sentences", 300, "synthetic corpus size");
+  flags.AddString("profile", "paper",
+                  "backbone size: 'paper' (300d GloVe-scale, hidden 128 — the "
+                  "model one actually serves) or 'cpu' (BackboneConfig's "
+                  "CPU-scale defaults, matching the table benches)");
+  flags.AddInt("hidden-dim", 0, "override the profile's hidden dimension");
+  flags.AddDouble("inner-lr", 0.2, "adaptation learning rate");
+  flags.AddDouble("min-seconds", 0.5, "minimum measured wall time per cell");
+  flags.AddInt("seed", 42, "global seed");
+  flags.AddBool("verbose", false, "log progress");
+  bench::AddJsonFlag(&flags);
+  util::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+  if (!flags.GetBool("verbose")) util::SetLogLevel(util::LogLevel::kWarning);
+
+  const std::vector<int64_t> step_grid =
+      ParseIntList(flags.GetString("inner-steps"), "--inner-steps");
+  const std::vector<int64_t> shot_grid =
+      ParseIntList(flags.GetString("shots"), "--shots");
+  const int64_t query_size = flags.GetInt("query-size");
+  const float inner_lr = static_cast<float>(flags.GetDouble("inner-lr"));
+  const double min_seconds = flags.GetDouble("min-seconds");
+
+  data::SyntheticSpec spec;
+  spec.name = "adaptation";
+  spec.genre = "newswire";
+  spec.num_types = 8;
+  spec.num_sentences = flags.GetInt("sentences");
+  spec.mentions_per_sentence = 2.0;
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  data::Corpus corpus = data::GenerateCorpus(spec);
+
+  text::VocabBuilder builder;
+  for (const auto& sentence : corpus.sentences) builder.AddSentence(sentence.tokens);
+  text::Vocab words = builder.BuildWordVocab();
+  text::Vocab chars = builder.BuildCharVocab();
+
+  // Adaptation latency is a serving number, so the default profile is the
+  // paper-scale backbone (BackboneConfig's inline "paper:" annotations) — the
+  // model one actually deploys — not the shrunken dims the CPU-scale table
+  // benches train with.
+  const int64_t n_way = flags.GetInt("n-way");
+  models::BackboneConfig config;
+  config.word_vocab_size = words.size();
+  config.char_vocab_size = chars.size();
+  config.max_tags = text::NumTags(n_way);
+  const std::string profile = flags.GetString("profile");
+  if (profile == "paper") {
+    config.word_dim = 300;
+    config.char_dim = 100;
+    config.filters_per_width = 50;
+    config.hidden_dim = 128;
+    config.context_dim = 256;
+  } else if (profile != "cpu") {
+    std::cerr << "invalid --profile '" << profile << "' (paper|cpu)\n";
+    return 1;
+  }
+  if (flags.GetInt("hidden-dim") > 0) {
+    config.hidden_dim = flags.GetInt("hidden-dim");
+  }
+
+  models::EpisodeEncoder encoder(&words, &chars, config.max_tags);
+  util::Rng rng(spec.seed);
+  meta::Fewner fewner(config, &rng);
+  models::Backbone* net = fewner.backbone();
+  net->SetTraining(false);  // test-time regime: dropout off, prefix cacheable
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value("adaptation_latency");
+  json.Key("profile");
+  json.Value(profile);
+  json.Key("hidden_dim");
+  json.Value(static_cast<int64_t>(config.hidden_dim));
+  json.Key("n_way");
+  json.Value(n_way);
+  json.Key("query_size");
+  json.Value(query_size);
+  json.Key("results");
+  json.BeginArray();
+
+  std::cout << "      K  steps   uncached ms/task     cached ms/task    speedup\n";
+  // Aggregate adapt+serve time across the K sweep at the deepest inner-step
+  // setting — the headline number.  Per-cell ratios above it show the spread:
+  // small-support tasks are diluted by query encoding, which no cache can
+  // remove (the queries have never been seen), while typical-support tasks
+  // approach the per-step ratio.
+  int64_t max_steps = 0;
+  for (int64_t steps : step_grid) max_steps = std::max(max_steps, steps);
+  double uncached_total = 0.0;
+  double cached_total = 0.0;
+  for (int64_t k_shot : shot_grid) {
+    data::EpisodeSampler sampler(&corpus, corpus.entity_types, n_way, k_shot,
+                                 query_size, spec.seed ^ 0xADA9ull);
+    models::EncodedEpisode episode = encoder.Encode(sampler.Sample(0));
+    const models::EncodedBatch support = models::PackBatch(episode.support);
+    const models::EncodedBatch query = models::PackBatch(episode.query);
+
+    for (int64_t steps : step_grid) {
+      // Correctness gate: bitwise φ* parity and identical served tags.
+      Tensor uncached_phi =
+          AdaptUncached(*net, support, episode.valid_tags, steps, inner_lr);
+      Tensor cached_phi = meta::Fewner::AdaptContextOn(
+          *net, episode.support, episode.valid_tags, steps, inner_lr,
+          /*create_graph=*/false);
+      const auto& a = uncached_phi.data();
+      const auto& b = cached_phi.data();
+      if (a.size() != b.size() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+        std::cerr << "ERROR: cached phi* diverges from uncached phi* (K="
+                  << k_shot << ", steps=" << steps << ")\n";
+        return 1;
+      }
+      std::vector<std::vector<int64_t>> uncached_tags, cached_tags;
+      {
+        tensor::EvalMode eval;
+        uncached_tags = net->DecodeBatch(query, uncached_phi, episode.valid_tags);
+        cached_tags = net->DecodeBatchFromPrefix(net->EncodePrefix(query),
+                                                 cached_phi, episode.valid_tags);
+      }
+      if (uncached_tags != cached_tags) {
+        std::cerr << "ERROR: cached tags diverge from uncached tags (K="
+                  << k_shot << ", steps=" << steps << ")\n";
+        return 1;
+      }
+
+      const double uncached_ms = MeasureMsPerTask(min_seconds, [&] {
+        Tensor phi =
+            AdaptUncached(*net, support, episode.valid_tags, steps, inner_lr);
+        tensor::EvalMode eval;
+        net->DecodeBatch(query, phi, episode.valid_tags);
+      });
+      const double cached_ms = MeasureMsPerTask(min_seconds, [&] {
+        Tensor phi = meta::Fewner::AdaptContextOn(*net, episode.support,
+                                                  episode.valid_tags, steps,
+                                                  inner_lr,
+                                                  /*create_graph=*/false);
+        tensor::EvalMode eval;
+        net->DecodeBatchFromPrefix(net->EncodePrefix(query), phi,
+                                   episode.valid_tags);
+      });
+      const double speedup = uncached_ms / cached_ms;
+      if (steps == max_steps) {
+        uncached_total += uncached_ms;
+        cached_total += cached_ms;
+      }
+      std::printf("%7lld %6lld %18.3f %18.3f %9.2fx\n",
+                  static_cast<long long>(k_shot),
+                  static_cast<long long>(steps), uncached_ms, cached_ms,
+                  speedup);
+
+      json.BeginObject();
+      json.Key("k_shot");
+      json.Value(k_shot);
+      json.Key("inner_steps");
+      json.Value(steps);
+      json.Key("uncached_ms_per_task");
+      json.Value(uncached_ms);
+      json.Key("cached_ms_per_task");
+      json.Value(cached_ms);
+      json.Key("speedup");
+      json.Value(speedup);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  const double speedup_at_max_steps =
+      cached_total > 0.0 ? uncached_total / cached_total : 0.0;
+  json.Key("speedup_at_max_steps");
+  json.Value(speedup_at_max_steps);
+  json.EndObject();
+
+  std::printf("adapt+serve speedup at inner_steps=%lld (across K sweep): %.2fx\n",
+              static_cast<long long>(max_steps), speedup_at_max_steps);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    if (!json.WriteFile(json_path)) {
+      std::cerr << "ERROR: could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fewner
+
+int main(int argc, char** argv) { return fewner::Main(argc, argv); }

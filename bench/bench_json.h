@@ -1,0 +1,125 @@
+// Machine-readable bench output.
+//
+// Benches print human-oriented tables to stdout; passing `--json <path>`
+// additionally writes the same numbers as a JSON document so the perf
+// trajectory can accumulate in-repo (BENCH_*.json) and CI can upload the
+// file as an artifact.  The writer is deliberately tiny: objects, arrays,
+// strings, numbers, bools — everything a bench result needs, nothing more.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace fewner::bench {
+
+/// Streaming JSON writer with comma/quote management.  Calls must nest
+/// correctly (Begin/End pairs, Key before each value inside an object);
+/// misuse shows up as malformed output, not UB.
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Prefix();
+    out_ << '{';
+    stack_.push_back(true);
+  }
+  void EndObject() {
+    out_ << '}';
+    stack_.pop_back();
+  }
+  void BeginArray() {
+    Prefix();
+    out_ << '[';
+    stack_.push_back(true);
+  }
+  void EndArray() {
+    out_ << ']';
+    stack_.pop_back();
+  }
+  void Key(const std::string& name) {
+    Prefix();
+    Quote(name);
+    out_ << ':';
+    key_pending_ = true;
+  }
+  void Value(const std::string& v) {
+    Prefix();
+    Quote(v);
+  }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(double v) {
+    Prefix();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+    out_ << buffer;
+  }
+  void Value(int64_t v) {
+    Prefix();
+    out_ << v;
+  }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(bool v) {
+    Prefix();
+    out_ << (v ? "true" : "false");
+  }
+
+  std::string str() const { return out_.str() + "\n"; }
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << str();
+    return file.good();
+  }
+
+ private:
+  void Prefix() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (!stack_.back()) out_ << ',';
+      stack_.back() = false;
+    }
+  }
+  void Quote(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ << buffer;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> stack_;  ///< per open scope: "no element emitted yet"
+  bool key_pending_ = false;
+};
+
+/// Registers the harness-wide `--json` flag.
+inline void AddJsonFlag(util::FlagParser* flags) {
+  flags->AddString("json", "",
+                   "also write machine-readable results to this path");
+}
+
+}  // namespace fewner::bench

@@ -9,15 +9,24 @@ AdaptedTagger::AdaptedTagger(models::Backbone* backbone,
                              const std::vector<models::EncodedSentence>& support,
                              std::vector<bool> valid_tags, int64_t inner_steps,
                              float inner_lr)
-    : backbone_(backbone), valid_tags_(std::move(valid_tags)) {
+    : backbone_(backbone),
+      valid_tags_(std::move(valid_tags)),
+      inner_lr_(inner_lr) {
   FEWNER_CHECK(backbone != nullptr, "AdaptedTagger needs a backbone");
   // Dropout off + deterministic forward, for adaptation and serving alike.
   backbone->SetTraining(false);
-  // The inner loop differentiates the support loss w.r.t. φ, so it must run
-  // in graph mode — this is the one-off cost the snapshot amortizes away.
+  {
+    // The support θ-prefix: encoded once, graph-free, and kept — ReAdapt()
+    // continues the descent from it without touching the encoder again.
+    tensor::EvalMode eval;
+    support_prefix_ = backbone->EncodePrefix(models::PackBatch(support));
+  }
+  // The inner loop differentiates the support loss w.r.t. φ, so the suffix
+  // must run in graph mode — this is the one-off cost the snapshot amortizes
+  // away (and with the cached prefix it is suffix-sized, not encoder-sized).
   tensor::Tensor phi =
-      Fewner::AdaptContextOn(*backbone, support, valid_tags_, inner_steps,
-                             inner_lr, /*create_graph=*/false);
+      Fewner::AdaptOnPrefix(*backbone, support_prefix_, valid_tags_,
+                            inner_steps, inner_lr, /*create_graph=*/false);
   phi_ = phi.Detach();  // plain constant: no grad flag, no graph edges
 }
 
@@ -35,10 +44,41 @@ std::vector<int64_t> AdaptedTagger::Tag(
 std::vector<std::vector<int64_t>> AdaptedTagger::TagAll(
     const std::vector<models::EncodedSentence>& sentences) const {
   if (sentences.empty()) return {};
-  // One batched graph-free forward for the whole query set, then per-lane
-  // Viterbi — identical tags to sentence-at-a-time Decode (see DESIGN.md §7).
+  // One batched graph-free prefix + suffix for the whole query set, then
+  // per-lane Viterbi — identical tags to sentence-at-a-time Decode (see
+  // DESIGN.md §7; the prefix/suffix split changes no op in this regime).
   tensor::EvalMode eval;
-  return backbone_->DecodeBatch(models::PackBatch(sentences), phi_, valid_tags_);
+  return backbone_->DecodeBatchFromPrefix(
+      backbone_->EncodePrefix(models::PackBatch(sentences)), phi_, valid_tags_);
+}
+
+void AdaptedTagger::ReAdapt(int64_t extra_steps) {
+  if (extra_steps <= 0) return;
+  // The test-time inner loop re-leafs φ after every step, so resuming from
+  // the frozen φ* reproduces exactly the steps a longer construction-time
+  // loop would have taken.  AdaptOnPrefix re-checks the prefix against the
+  // backbone's current parameter version — θ drift aborts here.
+  tensor::Tensor phi = phi_.Detach();
+  phi.set_requires_grad(true);
+  phi = Fewner::AdaptOnPrefix(*backbone_, support_prefix_, valid_tags_,
+                              extra_steps, inner_lr_, /*create_graph=*/false,
+                              std::move(phi));
+  phi_ = phi.Detach();
+}
+
+models::CachedPrefix AdaptedTagger::PrepareWorkload(
+    const std::vector<models::EncodedSentence>& sentences) const {
+  FEWNER_CHECK(!sentences.empty(), "PrepareWorkload on zero sentences");
+  tensor::EvalMode eval;
+  return backbone_->EncodePrefix(models::PackBatch(sentences));
+}
+
+std::vector<std::vector<int64_t>> AdaptedTagger::TagPrepared(
+    const models::CachedPrefix& prefix) const {
+  // Suffix + Viterbi only.  Reads the shared prefix, writes only this
+  // thread's arena — safe to fan out across serving threads.
+  tensor::EvalMode eval;
+  return backbone_->DecodeBatchFromPrefix(prefix, phi_, valid_tags_);
 }
 
 }  // namespace fewner::meta

@@ -32,7 +32,9 @@ class Fewner;
 class AdaptedTagger {
  public:
   /// Adapts φ on `support` with `inner_steps` gradient steps of size
-  /// `inner_lr` (paper Eq. 5, create_graph=false), then freezes.  `backbone`
+  /// `inner_lr` (paper Eq. 5, create_graph=false), then freezes.  The support
+  /// θ-prefix is encoded once (graph-free, arena-backed) and every inner step
+  /// runs the φ-suffix only; the prefix is kept for ReAdapt().  `backbone`
   /// must outlive the tagger and stays in inference mode afterwards.
   AdaptedTagger(models::Backbone* backbone,
                 const std::vector<models::EncodedSentence>& support,
@@ -49,6 +51,25 @@ class AdaptedTagger {
   std::vector<std::vector<int64_t>> TagAll(
       const std::vector<models::EncodedSentence>& sentences) const;
 
+  /// Continues the φ descent for `extra_steps` more steps on the cached
+  /// support prefix — no support re-encode.  Equivalent to having constructed
+  /// with `inner_steps + extra_steps` (bitwise: the test-time inner loop
+  /// re-leafs φ every step, so it carries no other per-step state).  Aborts
+  /// if θ changed since construction (the prefix would be stale).
+  void ReAdapt(int64_t extra_steps);
+
+  /// θ-only features for a query workload, encoded once under EvalMode.
+  /// A prepared workload is immutable; many threads may TagPrepared() the
+  /// same one concurrently, each decoding on its own workspace arena.
+  models::CachedPrefix PrepareWorkload(
+      const std::vector<models::EncodedSentence>& sentences) const;
+
+  /// Tags a prepared workload through the φ-suffix only — the serving path
+  /// when the same sentences are decoded repeatedly (e.g. after ReAdapt) or
+  /// fanned out across threads.
+  std::vector<std::vector<int64_t>> TagPrepared(
+      const models::CachedPrefix& prefix) const;
+
   /// The adapted context vector φ* (a detached constant).
   const tensor::Tensor& phi() const { return phi_; }
 
@@ -56,8 +77,10 @@ class AdaptedTagger {
 
  private:
   const models::Backbone* backbone_;
+  models::CachedPrefix support_prefix_;  ///< adaptation-era θ features
   tensor::Tensor phi_;
   std::vector<bool> valid_tags_;
+  float inner_lr_ = 0.0f;
 };
 
 }  // namespace fewner::meta

@@ -1,12 +1,15 @@
 #include "meta/fewner.h"
 
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "meta/adapted_tagger.h"
 #include "meta/grad_accumulator.h"
 #include "meta/parallel.h"
 
 #include "tensor/autodiff.h"
+#include "tensor/eval_mode.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -14,34 +17,14 @@ namespace fewner::meta {
 
 using tensor::Tensor;
 
-Fewner::Fewner(const models::BackboneConfig& config, util::Rng* rng)
-    : rng_(rng->Fork(0xFE47ull)) {
-  FEWNER_CHECK(config.conditioning != models::Conditioning::kNone,
-               "FEWNER requires context-parameter conditioning");
-  FEWNER_CHECK(config.context_dim > 0, "FEWNER requires context_dim > 0");
-  util::Rng init_rng = rng->Fork(0x1417ull);
-  backbone_ = std::make_unique<models::Backbone>(config, &init_rng);
-}
+namespace {
 
-Tensor Fewner::AdaptContext(const std::vector<models::EncodedSentence>& support,
-                            const std::vector<bool>& valid_tags, int64_t steps,
-                            float inner_lr, bool create_graph) const {
-  return AdaptContextOn(*backbone_, support, valid_tags, steps, inner_lr,
-                        create_graph);
-}
-
-Tensor Fewner::AdaptContextOn(const models::Backbone& net,
-                              const std::vector<models::EncodedSentence>& support,
-                              const std::vector<bool>& valid_tags, int64_t steps,
-                              float inner_lr, bool create_graph) {
-  // φ starts at zero for every task (paper §3.2.4).  The support set is
-  // packed once and every inner step runs the batched forward — one GEMM
-  // pipeline per step instead of one per sentence, with bitwise-identical
-  // losses (see Backbone::BatchLoss).
-  const models::EncodedBatch packed = models::PackBatch(support);
-  Tensor phi = net.ZeroContext();
+/// The φ-descent loop (Eq. 5) shared by the cached and uncached paths; only
+/// the support-loss forward differs between them.
+Tensor DescendPhi(Tensor phi, int64_t steps, float inner_lr, bool create_graph,
+                  const std::function<Tensor(const Tensor&)>& support_loss) {
   for (int64_t k = 0; k < steps; ++k) {
-    Tensor loss = net.BatchLoss(packed, phi, valid_tags);
+    Tensor loss = support_loss(phi);
     // Eq. 5: gradient w.r.t. the previous φ only — θ stays fixed here, but
     // with create_graph the inner gradient keeps its dependence on θ, which
     // is what the outer update differentiates through.
@@ -63,6 +46,73 @@ Tensor Fewner::AdaptContextOn(const models::Backbone& net,
   return phi;
 }
 
+}  // namespace
+
+Fewner::Fewner(const models::BackboneConfig& config, util::Rng* rng)
+    : rng_(rng->Fork(0xFE47ull)) {
+  FEWNER_CHECK(config.conditioning != models::Conditioning::kNone,
+               "FEWNER requires context-parameter conditioning");
+  FEWNER_CHECK(config.context_dim > 0, "FEWNER requires context_dim > 0");
+  util::Rng init_rng = rng->Fork(0x1417ull);
+  backbone_ = std::make_unique<models::Backbone>(config, &init_rng);
+}
+
+Tensor Fewner::AdaptContext(const std::vector<models::EncodedSentence>& support,
+                            const std::vector<bool>& valid_tags, int64_t steps,
+                            float inner_lr, bool create_graph) const {
+  return AdaptContextOn(*backbone_, support, valid_tags, steps, inner_lr,
+                        create_graph);
+}
+
+Tensor Fewner::AdaptOnPrefix(const models::Backbone& net,
+                             const models::CachedPrefix& prefix,
+                             const std::vector<bool>& valid_tags, int64_t steps,
+                             float inner_lr, bool create_graph, Tensor phi) {
+  if (!phi.defined()) phi = net.ZeroContext();
+  return DescendPhi(std::move(phi), steps, inner_lr, create_graph,
+                    [&](const Tensor& p) {
+                      return net.BatchLossFromPrefix(prefix, p, valid_tags);
+                    });
+}
+
+Tensor Fewner::AdaptContextOn(const models::Backbone& net,
+                              const std::vector<models::EncodedSentence>& support,
+                              const std::vector<bool>& valid_tags, int64_t steps,
+                              float inner_lr, bool create_graph) {
+  // φ starts at zero for every task (paper §3.2.4), and the support set is
+  // packed once for all steps.
+  const models::EncodedBatch packed = models::PackBatch(support);
+  Tensor phi = net.ZeroContext();
+  if (steps <= 0) return phi;
+  if (net.CanCachePrefix()) {
+    // θ is constant within a task, so the dropout-free θ-head runs once and
+    // every inner step pays only the φ-suffix.
+    models::CachedPrefix prefix;
+    if (create_graph) {
+      // Meta-training: the prefix is one shared autodiff subgraph every
+      // inner-step loss (and, through the φ chain, the query loss) hangs off;
+      // Grad's deterministic fan-in sums their contributions at the shared
+      // nodes, and the φ-gradients themselves never traverse it (needed-set
+      // pruning stops where φ stops being reachable).
+      prefix = net.EncodePrefix(packed);
+    } else {
+      // Test time: build the prefix graph-free on the workspace arena; the
+      // escaped feature tensors pin their nodes for as long as the prefix
+      // lives, so the graph-mode suffix may consume them as constants.
+      tensor::EvalMode eval;
+      prefix = net.EncodePrefix(packed);
+    }
+    return AdaptOnPrefix(net, prefix, valid_tags, steps, inner_lr, create_graph,
+                         std::move(phi));
+  }
+  // Training-mode dropout: masks are keyed per (episode, call, lane) and
+  // legitimately differ between steps, so each step re-runs the full forward.
+  return DescendPhi(std::move(phi), steps, inner_lr, create_graph,
+                    [&](const Tensor& p) {
+                      return net.BatchLoss(packed, p, valid_tags);
+                    });
+}
+
 void Fewner::Train(const data::EpisodeSampler& sampler,
                    const models::EpisodeEncoder& encoder, const TrainConfig& config) {
   test_inner_steps_ = config.inner_steps_test;
@@ -81,7 +131,9 @@ void Fewner::Train(const data::EpisodeSampler& sampler,
     GradAccumulator accumulator(params);
     const double loss_sum = batch.Run(
         config.meta_batch,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* net = static_cast<models::Backbone*>(model);
           const uint64_t episode_id = base + static_cast<uint64_t>(t);
           models::EncodedEpisode enc =
@@ -94,8 +146,7 @@ void Fewner::Train(const data::EpisodeSampler& sampler,
           // gradient of the summed loss, at a fraction of the peak memory.
           Tensor query_loss =
               net->BatchLoss(models::PackBatch(enc.query), phi, enc.valid_tags);
-          *grads =
-              tensor::autodiff::Grad(query_loss, nn::ParameterTensors(net));
+          *grads = tensor::autodiff::Grad(query_loss, replica_params);
           return query_loss.item();
         },
         &accumulator);

@@ -38,13 +38,15 @@ void FineTune::Train(const data::EpisodeSampler& sampler,
     GradAccumulator accumulator(params);
     const double loss_sum = batch.Run(
         config.meta_batch,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* net = static_cast<models::Backbone*>(model);
           models::EncodedEpisode enc = PrepareTrainingTask(
               sampler, encoder, config, base + static_cast<uint64_t>(t), net);
           Tensor loss = net->BatchLoss(models::PackBatch(enc.support), Tensor(),
                                        enc.valid_tags);
-          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+          *grads = tensor::autodiff::Grad(loss, replica_params);
           return loss.item();
         },
         &accumulator);
@@ -70,10 +72,12 @@ std::vector<std::vector<int64_t>> FineTune::AdaptAndPredict(
       nn::SnapshotParameterValues(backbone_.get());
   nn::Sgd sgd(backbone_->Parameters(), finetune_lr_);
   const models::EncodedBatch packed = models::PackBatch(episode.support);
+  // Loop-invariant: Sgd::Step writes values in place, so these handles keep
+  // aliasing the live leaves across steps.
+  const std::vector<Tensor> params = nn::ParameterTensors(backbone_.get());
   for (int64_t step = 0; step < test_steps_; ++step) {
     Tensor loss = backbone_->BatchLoss(packed, Tensor(), episode.valid_tags);
-    std::vector<Tensor> grads =
-        tensor::autodiff::Grad(loss, nn::ParameterTensors(backbone_.get()));
+    std::vector<Tensor> grads = tensor::autodiff::Grad(loss, params);
     nn::ClipGradNorm(&grads, 5.0f);
     sgd.Step(grads);
   }

@@ -102,12 +102,13 @@ void Maml::Train(const data::EpisodeSampler& sampler,
     GradAccumulator accumulator(params);
     const double loss_sum = batch.Run(
         config.meta_batch,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* net = static_cast<models::Backbone*>(model);
           const uint64_t episode_id = base + static_cast<uint64_t>(t);
           models::EncodedEpisode enc =
               PrepareTrainingTask(sampler, encoder, config, episode_id, net);
-          std::vector<Tensor> base_params = nn::ParameterTensors(net);
           std::vector<Tensor> adapted =
               InnerAdaptOn(net, enc.support, enc.valid_tags,
                            config.inner_steps_train, config.inner_lr,
@@ -118,13 +119,14 @@ void Maml::Train(const data::EpisodeSampler& sampler,
             query_loss = net->BatchLoss(models::PackBatch(enc.query), Tensor(),
                                         enc.valid_tags);
           }
-          // Eq. 3: meta-gradient w.r.t. the original parameters, flowing
-          // through the full-network inner updates; per-task backward bounds
-          // peak memory.  In first-order mode the inner updates are detached,
-          // so the FOMAML gradient is taken at the adapted parameters and
-          // applied to the originals (identical layouts).
+          // Eq. 3: meta-gradient w.r.t. the original parameters (the
+          // replica's own leaves), flowing through the full-network inner
+          // updates; per-task backward bounds peak memory.  In first-order
+          // mode the inner updates are detached, so the FOMAML gradient is
+          // taken at the adapted parameters and applied to the originals
+          // (identical layouts).
           *grads = tensor::autodiff::Grad(
-              query_loss, config.first_order ? adapted : base_params);
+              query_loss, config.first_order ? adapted : replica_params);
           return query_loss.item();
         },
         &accumulator);

@@ -30,6 +30,10 @@ nn::Module* ParallelMetaBatch::Replica(int64_t i) {
   while (static_cast<int64_t>(replicas_.size()) <= i) {
     replicas_.push_back(factory_());
     FEWNER_CHECK(replicas_.back() != nullptr, "replica factory returned null");
+    // Snapshot the parameter handles once per replica.  The sync contract
+    // (value copies into existing leaves) keeps these aliased to the live
+    // parameters, so tasks never pay the per-episode tree walk again.
+    replica_params_.push_back(nn::ParameterTensors(replicas_.back().get()));
   }
   return replicas_[static_cast<size_t>(i)].get();
 }
@@ -46,10 +50,11 @@ double ParallelMetaBatch::Run(int64_t num_tasks, const TaskFn& fn,
   const int64_t workers = std::min(num_threads_, num_tasks);
   if (workers <= 1 || pool_ == nullptr) {
     nn::Module* replica = Replica(0);
+    const std::vector<tensor::Tensor>& params = replica_params_[0];
     for (int64_t t = 0; t < num_tasks; ++t) {
       sync_(replica);
       results[static_cast<size_t>(t)].loss =
-          fn(t, replica, &results[static_cast<size_t>(t)].grads);
+          fn(t, replica, params, &results[static_cast<size_t>(t)].grads);
     }
   } else {
     // Replicas are created on the calling thread; workers claim task indices
@@ -58,7 +63,8 @@ double ParallelMetaBatch::Run(int64_t num_tasks, const TaskFn& fn,
     std::atomic<int64_t> next{0};
     for (int64_t w = 0; w < workers; ++w) {
       nn::Module* replica = Replica(w);
-      pool_->Submit([&, replica] {
+      const std::vector<tensor::Tensor>* params = &replica_params_[static_cast<size_t>(w)];
+      pool_->Submit([&, replica, params] {
         for (;;) {
           const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
           if (t >= num_tasks) return;
@@ -66,7 +72,7 @@ double ParallelMetaBatch::Run(int64_t num_tasks, const TaskFn& fn,
           // mutated by the previous task it ran (e.g. Reptile's inner SGD).
           sync_(replica);
           results[static_cast<size_t>(t)].loss =
-              fn(t, replica, &results[static_cast<size_t>(t)].grads);
+              fn(t, replica, *params, &results[static_cast<size_t>(t)].grads);
         }
       });
     }

@@ -49,12 +49,19 @@ class ParallelMetaBatch {
 
   /// Makes `replica` equivalent to the master: parameter values, training
   /// mode, and any non-parameter state a task depends on (dropout base).
+  /// Must update parameters IN PLACE (value copy into the existing leaves,
+  /// as Module::CopyParametersFrom does), never replace slot tensors — the
+  /// per-replica parameter snapshot handed to TaskFn is built once and must
+  /// stay aliased to the replica's live parameters across syncs.
   using ReplicaSync = std::function<void(nn::Module* replica)>;
 
   /// Runs task `task` of the batch on `model` (the replica, already synced):
   /// fills `grads` with the task's detached gradient tensors in accumulator
-  /// layout and returns the task's loss.
+  /// layout and returns the task's loss.  `params` is the replica's parameter
+  /// snapshot (nn::ParameterTensors order), materialized once per replica so
+  /// per-task lambdas need not rebuild it.
   using TaskFn = std::function<double(int64_t task, nn::Module* model,
+                                      const std::vector<tensor::Tensor>& params,
                                       std::vector<tensor::Tensor>* grads)>;
 
   /// `num_threads` <= 0 resolves through ResolveThreadCount().
@@ -83,6 +90,9 @@ class ParallelMetaBatch {
   ReplicaFactory factory_;
   ReplicaSync sync_;
   std::vector<std::unique_ptr<nn::Module>> replicas_;  ///< lazily built, one per worker
+  /// replica_params_[i] snapshots replicas_[i]'s parameters once, at build
+  /// time; valid forever because syncs copy values in place.
+  std::vector<std::vector<tensor::Tensor>> replica_params_;
   std::unique_ptr<util::ThreadPool> pool_;             ///< null when single-threaded
 };
 

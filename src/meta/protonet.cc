@@ -118,12 +118,14 @@ void ProtoNet::Train(const data::EpisodeSampler& sampler,
     GradAccumulator accumulator(params);
     const double loss_sum = batch.Run(
         config.meta_batch,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* net = static_cast<models::Backbone*>(model);
           models::EncodedEpisode enc = PrepareTrainingTask(
               sampler, encoder, config, base + static_cast<uint64_t>(t), net);
           Tensor loss = EpisodeLoss(*net, enc);
-          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+          *grads = tensor::autodiff::Grad(loss, replica_params);
           return loss.item();
         },
         &accumulator);

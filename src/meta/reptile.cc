@@ -25,12 +25,14 @@ double Reptile::SgdOnSupport(models::Backbone* net,
                              float lr) {
   nn::Sgd sgd(net->Parameters(), lr);
   double last_loss = 0.0;
-  // Packed once; every SGD step runs the batch-first forward.
+  // Packed once; every SGD step runs the batch-first forward.  The parameter
+  // snapshot is likewise loop-invariant: Sgd::Step writes values in place, so
+  // the handles keep aliasing the live leaves across steps.
   const models::EncodedBatch packed = models::PackBatch(support);
+  const std::vector<Tensor> net_params = nn::ParameterTensors(net);
   for (int64_t k = 0; k < steps; ++k) {
     Tensor loss = net->BatchLoss(packed, Tensor(), valid_tags);
-    std::vector<Tensor> grads =
-        tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+    std::vector<Tensor> grads = tensor::autodiff::Grad(loss, net_params);
     nn::ClipGradNorm(&grads, 5.0f);
     sgd.Step(grads);
     last_loss = loss.item();
@@ -54,7 +56,9 @@ void Reptile::Train(const data::EpisodeSampler& sampler,
     GradAccumulator accumulator(params);
     const double loss_sum = batch.Run(
         config.meta_batch,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* net = static_cast<models::Backbone*>(model);
           models::EncodedEpisode enc = PrepareTrainingTask(
               sampler, encoder, config, base + static_cast<uint64_t>(t), net);
@@ -62,8 +66,10 @@ void Reptile::Train(const data::EpisodeSampler& sampler,
                                            config.inner_steps_train,
                                            config.inner_lr);
           // The task's contribution is its parameter delta θ'_task − θ,
-          // reduced like a (pseudo-)gradient.
-          const std::vector<Tensor> adapted = nn::ParameterTensors(net);
+          // reduced like a (pseudo-)gradient.  The inner SGD mutated the
+          // replica's leaves in place, so `replica_params` now reads the
+          // adapted values while `params` still holds the master's θ.
+          const std::vector<Tensor>& adapted = replica_params;
           grads->reserve(adapted.size());
           for (size_t i = 0; i < adapted.size(); ++i) {
             const auto& a = adapted[i].data();

@@ -144,14 +144,16 @@ void Snail::Train(const data::EpisodeSampler& sampler,
     GradAccumulator accumulator(params);
     const double loss_sum = batch.Run(
         config.meta_batch,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* m = static_cast<Model*>(model);
           models::EncodedEpisode enc =
               PrepareTrainingTask(sampler, encoder, config,
                                   base + static_cast<uint64_t>(t),
                                   m->backbone.get());
           Tensor loss = EpisodeLoss(*m, enc);
-          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(m));
+          *grads = tensor::autodiff::Grad(loss, replica_params);
           return loss.item();
         },
         &accumulator);

@@ -368,4 +368,175 @@ std::vector<std::vector<int64_t>> Backbone::DecodeBatch(
   return paths;
 }
 
+bool Backbone::CanCachePrefix() const {
+  // Mirrors the LaneDropout/ForkLaneRngs no-op condition: when this holds,
+  // the θ-head draws nothing and touches no shared RNG state, so reusing its
+  // output across calls is exactly what re-running it would compute.
+  return !training() || config_.dropout <= 0.0f;
+}
+
+uint64_t Backbone::ParameterVersion() const {
+  // FNV-1a fold over every slot's (node id, mutation version), in slot order.
+  // In-place optimizer steps bump the version, slot replacement (fresh leaf,
+  // ParameterPatch) swaps the id — either way the fold changes.  Parameters()
+  // is non-const because it exposes mutable slots; this walk only reads.
+  uint64_t h = 14695981039346656037ull;
+  const auto fold = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  for (tensor::Tensor* slot : const_cast<Backbone*>(this)->Parameters()) {
+    fold(slot->node()->id);
+    fold(slot->node()->version);
+  }
+  return h;
+}
+
+Tensor Backbone::EncodePrefixImpl(const EncodedBatch& batch) const {
+  const int64_t lanes = batch.batch;
+  const int64_t max_len = batch.max_len;
+  FEWNER_CHECK(lanes > 0 && max_len > 0, "EncodePrefix on empty batch");
+  // The head of EncodeBatchImpl with the LaneDropout calls elided — legal
+  // because EncodePrefix only runs in the regime where they are identities.
+  Tensor words = word_embedding_->Forward(batch.word_ids);  // [B*L, word_dim]
+  Tensor input = words;
+  if (config_.use_char_cnn) {
+    Tensor chars = char_cnn_->ForwardBatch(batch.char_ids);  // [B*L, char_feat]
+    input = tensor::Concat({words, chars}, 1);
+  }
+  Tensor input3 =
+      tensor::Reshape(input, Shape{lanes, max_len, input.shape().dim(1)});
+  if (config_.conditioning == Conditioning::kConcat) {
+    // Method A threads φ into the BiGRU input, so the recurrence is
+    // φ-dependent and the cacheable prefix stops at the token features.
+    return input3;
+  }
+  // kFilm/kNone: φ enters after the encoder (or never), so the full
+  // recurrent pass — the expensive part — is θ-only and cacheable.
+  return bigru_ ? bigru_->ForwardBatch(input3, batch.lengths)
+                : bilstm_->ForwardBatch(input3, batch.lengths);
+}
+
+Tensor Backbone::SuffixEmissions(const CachedPrefix::Run& run,
+                                 const Tensor& phi) const {
+  const int64_t lanes = run.batch.batch;
+  const int64_t max_len = run.batch.max_len;
+  Tensor hidden3;
+  if (config_.conditioning == Conditioning::kConcat) {
+    FEWNER_CHECK(phi.defined(), "kConcat conditioning requires a context vector");
+    Tensor phi_rows = tensor::BroadcastTo(
+        tensor::Reshape(phi, Shape{1, 1, config_.context_dim}),
+        Shape{lanes, max_len, config_.context_dim});
+    Tensor input3 = tensor::Concat({run.features, phi_rows}, 2);
+    hidden3 = bigru_ ? bigru_->ForwardBatch(input3, run.batch.lengths)
+                     : bilstm_->ForwardBatch(input3, run.batch.lengths);
+  } else if (config_.conditioning == Conditioning::kFilm) {
+    FEWNER_CHECK(phi.defined(), "kFilm conditioning requires a context vector");
+    Tensor hidden2 = film_->Forward(
+        tensor::Reshape(run.features,
+                        Shape{lanes * max_len, 2 * config_.hidden_dim}),
+        phi);
+    hidden3 =
+        tensor::Reshape(hidden2, Shape{lanes, max_len, 2 * config_.hidden_dim});
+  } else {
+    hidden3 = run.features;  // kNone: the suffix is emission + CRF only
+  }
+  Tensor emissions2 = emission_->Forward(tensor::Reshape(
+      hidden3, Shape{lanes * max_len, 2 * config_.hidden_dim}));
+  return tensor::Reshape(emissions2, Shape{lanes, max_len, config_.max_tags});
+}
+
+void Backbone::CheckPrefix(const CachedPrefix& prefix) const {
+  FEWNER_CHECK(prefix.defined(), "use of an undefined CachedPrefix");
+  FEWNER_CHECK(prefix.conditioning == config_.conditioning,
+               "CachedPrefix built for a different conditioning mode");
+  FEWNER_CHECK(CanCachePrefix(),
+               "CachedPrefix consumed in the training-dropout regime");
+  FEWNER_CHECK(prefix.param_version == ParameterVersion(),
+               "stale CachedPrefix: θ changed since EncodePrefix (optimizer "
+               "step or parameter swap) — rebuild the prefix");
+}
+
+CachedPrefix Backbone::EncodePrefix(const EncodedBatch& batch) const {
+  FEWNER_CHECK(batch.batch > 0, "EncodePrefix on empty batch");
+  FEWNER_CHECK(CanCachePrefix(),
+               "EncodePrefix in the training-dropout regime: per-step masks "
+               "make a shared prefix incorrect; use the per-step forward");
+  CachedPrefix prefix;
+  prefix.batch = batch.batch;
+  prefix.max_len = batch.max_len;
+  prefix.conditioning = config_.conditioning;
+  prefix.param_version = ParameterVersion();
+  // Same LaneRuns partition as BatchLoss/DecodeBatch, so suffix results fold
+  // back in the same lane order with the same padded shapes — bitwise parity
+  // with the uncached paths needs nothing further.
+  const std::vector<std::pair<int64_t, int64_t>> runs = LaneRuns(batch.lengths);
+  prefix.runs.reserve(runs.size());
+  for (const auto& [begin, count] : runs) {
+    CachedPrefix::Run run;
+    run.batch = runs.size() > 1 ? SubBatch(batch, begin, count) : batch;
+    run.features = EncodePrefixImpl(run.batch);
+    prefix.runs.push_back(std::move(run));
+  }
+  return prefix;
+}
+
+Tensor Backbone::BatchLossFromPrefix(const CachedPrefix& prefix,
+                                     const Tensor& phi,
+                                     const std::vector<bool>& valid_tags) const {
+  CheckPrefix(prefix);
+  std::vector<Tensor> per_run;
+  per_run.reserve(prefix.runs.size());
+  for (const CachedPrefix::Run& run : prefix.runs) {
+    Tensor emissions = SuffixEmissions(run, phi);
+    per_run.push_back(crf_->NegLogLikelihoodBatch(emissions, run.batch.tags,
+                                                  run.batch.lengths, &valid_tags));
+  }
+  Tensor per_lane = per_run.size() == 1 ? per_run.front()
+                                        : tensor::Concat(per_run, 0);
+  return tensor::SumAllFloat(per_lane);
+}
+
+Tensor Backbone::EmissionsFromPrefix(const CachedPrefix& prefix,
+                                     const Tensor& phi) const {
+  CheckPrefix(prefix);
+  std::vector<Tensor> per_run;
+  per_run.reserve(prefix.runs.size());
+  for (const CachedPrefix::Run& run : prefix.runs) {
+    Tensor em = SuffixEmissions(run, phi);
+    if (run.batch.max_len < prefix.max_len) {
+      // Re-pad to the whole-batch Lmax so the result matches EmissionsBatch's
+      // shape.  Padding rows are unspecified by that contract; zeros are as
+      // good as recomputed garbage and cheaper.
+      em = tensor::Concat(
+          {em, Tensor::Zeros(Shape{run.batch.batch,
+                                   prefix.max_len - run.batch.max_len,
+                                   config_.max_tags})},
+          1);
+    }
+    per_run.push_back(em);
+  }
+  return per_run.size() == 1 ? per_run.front() : tensor::Concat(per_run, 0);
+}
+
+std::vector<std::vector<int64_t>> Backbone::DecodeBatchFromPrefix(
+    const CachedPrefix& prefix, const Tensor& phi,
+    const std::vector<bool>& valid_tags) const {
+  CheckPrefix(prefix);
+  std::vector<std::vector<int64_t>> paths;
+  paths.reserve(static_cast<size_t>(prefix.batch));
+  for (const CachedPrefix::Run& run : prefix.runs) {
+    Tensor emissions = SuffixEmissions(run, phi);
+    // As in DecodeBatch: cut the decode out of a live autodiff graph; under
+    // EvalMode no graph was built, so the copy would only burn an allocation.
+    if (!tensor::EvalMode::active()) emissions = emissions.Detach();
+    std::vector<std::vector<int64_t>> run_paths =
+        crf_->ViterbiBatch(emissions, run.batch.lengths, &valid_tags);
+    for (auto& path : run_paths) paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
 }  // namespace fewner::models

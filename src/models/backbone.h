@@ -60,6 +60,34 @@ struct BackboneConfig {
   const std::vector<std::vector<float>>* pretrained_word_vectors = nullptr;
 };
 
+/// θ-only encoder features for one batch, computed once and reused across
+/// every φ a task tries (paper §3.2.4: adaptation touches only φ, so the
+/// pre-conditioning pipeline is constant within a task).  The split point
+/// depends on where φ enters: after the BiGRU for kFilm (features are the
+/// [.., 2H] hidden states), after the token concat for kConcat (features are
+/// the [.., word+char] inputs the BiGRU has not yet seen), and after the
+/// BiGRU for kNone (the suffix is emission+CRF only).
+///
+/// Runs mirror the LaneRuns partition BatchLoss/DecodeBatch bucket with, so
+/// suffix results fold back bitwise-identically to the uncached paths.
+///
+/// A prefix is pinned to the θ that produced it via `param_version`; every
+/// consumer re-derives the backbone's current version and aborts on mismatch,
+/// making stale-cache use impossible rather than merely discouraged.
+struct CachedPrefix {
+  struct Run {
+    EncodedBatch batch;       ///< this run's lanes, padded to the run max
+    tensor::Tensor features;  ///< [count, run_max_len, D] θ-only features
+  };
+  std::vector<Run> runs;      ///< contiguous, ascending lane order
+  int64_t batch = 0;          ///< total lanes across all runs
+  int64_t max_len = 0;        ///< longest lane (EmissionsFromPrefix pads to it)
+  Conditioning conditioning = Conditioning::kNone;
+  uint64_t param_version = 0; ///< Backbone::ParameterVersion() at build time
+
+  bool defined() const { return !runs.empty(); }
+};
+
 /// The θ network: input representation + context encoder + tag decoder.
 class Backbone : public nn::Module {
  public:
@@ -119,6 +147,45 @@ class Backbone : public nn::Module {
       const EncodedBatch& batch, const tensor::Tensor& phi,
       const std::vector<bool>& valid_tags) const;
 
+  /// Whether the θ-prefix may be computed once and reused: true when the
+  /// prefix draws no dropout (inference mode or dropout == 0).  In training
+  /// mode with dropout on, masks are keyed per (episode, call, lane) and
+  /// legitimately differ between inner steps, so a shared prefix would change
+  /// the model being trained — callers must fall back to per-step forwards.
+  bool CanCachePrefix() const;
+
+  /// Order-sensitive fingerprint of every parameter slot's (node id, mutation
+  /// version).  Changes whenever θ may have changed: in-place optimizer steps
+  /// bump the node version, slot replacement (ParameterPatch, fresh leaves)
+  /// swaps in a new node id.  Cheap enough to recompute on every cached call.
+  uint64_t ParameterVersion() const;
+
+  /// Runs the θ-only head once over `batch`, bucketed exactly like BatchLoss.
+  /// Aborts unless CanCachePrefix() — a cached prefix must be dropout-free.
+  /// Graph-mode callers get a differentiable shared subgraph (the
+  /// create_graph meta-training regime); EvalMode callers get arena-backed
+  /// constants that stay valid as long as the CachedPrefix holds them.
+  CachedPrefix EncodePrefix(const EncodedBatch& batch) const;
+
+  /// Task loss from a cached prefix — bitwise-equal to BatchLoss(batch, ...)
+  /// in the cacheable regime (identical suffix ops on identical values; the
+  /// dropout layers are identities there).
+  tensor::Tensor BatchLossFromPrefix(const CachedPrefix& prefix,
+                                     const tensor::Tensor& phi,
+                                     const std::vector<bool>& valid_tags) const;
+
+  /// Batched emission scores [B, Lmax, max_tags] from a cached prefix.
+  /// Real rows match EmissionsBatch bitwise; padding rows (unspecified by the
+  /// EmissionsBatch contract) are zero here.
+  tensor::Tensor EmissionsFromPrefix(const CachedPrefix& prefix,
+                                     const tensor::Tensor& phi) const;
+
+  /// Batched Viterbi decode from a cached prefix — identical tags to
+  /// DecodeBatch.  The serving fast path for AdaptedTagger under EvalMode.
+  std::vector<std::vector<int64_t>> DecodeBatchFromPrefix(
+      const CachedPrefix& prefix, const tensor::Tensor& phi,
+      const std::vector<bool>& valid_tags) const;
+
   /// Fresh zero context vector (requires_grad, ready for inner-loop descent).
   /// Undefined tensor when conditioning is kNone.
   tensor::Tensor ZeroContext() const;
@@ -152,6 +219,22 @@ class Backbone : public nn::Module {
   tensor::Tensor EmissionsBatchImpl(const EncodedBatch& batch,
                                     const tensor::Tensor& phi,
                                     const std::vector<util::Rng*>& lane_rngs) const;
+
+  /// θ-only head of EncodeBatchImpl for one (sub-)batch: embeddings + CharCNN
+  /// [+ BiGRU for kFilm/kNone].  Only callable in the dropout-free regime, so
+  /// the elided LaneDropout calls are exactly the identities EncodeBatchImpl
+  /// would have applied.
+  tensor::Tensor EncodePrefixImpl(const EncodedBatch& batch) const;
+
+  /// φ-dependent tail over one cached run: conditioning + emission linear.
+  /// Returns [count, run_max_len, max_tags].
+  tensor::Tensor SuffixEmissions(const CachedPrefix::Run& run,
+                                 const tensor::Tensor& phi) const;
+
+  /// Aborts when `prefix` is stale (θ changed since EncodePrefix), was built
+  /// for a different conditioning mode, or the backbone left the cacheable
+  /// regime.
+  void CheckPrefix(const CachedPrefix& prefix) const;
 
   /// Length-masked inverted dropout over [B, Lmax, D]: lane b's rows t <
   /// lengths[b] draw flat-row-major from lane_rngs[b] exactly as

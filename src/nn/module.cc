@@ -60,8 +60,12 @@ void Module::CopyParametersFrom(Module* other) {
   for (size_t i = 0; i < mine.size(); ++i) {
     FEWNER_CHECK(mine[i]->shape() == theirs[i]->shape(),
                  "CopyParametersFrom: shape mismatch at slot " << i);
-    *mine[i] = tensor::Tensor::FromData(theirs[i]->shape(), theirs[i]->data(),
-                                        /*requires_grad=*/true);
+    // In-place value copy, not slot replacement: tensor handles snapshotted
+    // from this module (ParameterTensors) stay valid across syncs — which is
+    // what lets ParallelMetaBatch build them once per replica — and the
+    // mutable_data() version bump marks any CachedPrefix built on the old
+    // values as stale.
+    *mine[i]->mutable_data() = theirs[i]->data();
   }
 }
 

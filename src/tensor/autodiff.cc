@@ -1,8 +1,10 @@
 #include "tensor/autodiff.h"
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tensor/eval_mode.h"
 #include "tensor/ops.h"
 
 namespace fewner::tensor::autodiff {
@@ -80,6 +82,16 @@ std::vector<Tensor> Grad(const Tensor& output, const std::vector<Tensor>& inputs
     grads[output.node()] = Tensor::Ones(output.shape());
   }
 
+  // Without create_graph the gradient tensors are detached before they leave
+  // this function, so nothing downstream ever differentiates through them —
+  // run the whole backward on the graph-free arena path instead of building
+  // (and then discarding) a second graph.  Values are bitwise-unchanged: eval
+  // mode runs the same kernels in the same fold order.  This is the test-time
+  // inner-loop hot path (see models::CachedPrefix), where backward cost now
+  // rivals the φ-suffix forward itself.
+  std::optional<EvalMode> eval;
+  if (!create_graph) eval.emplace();
+
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const Tensor& t = *it;
     if (!needed.count(t.node())) continue;
@@ -106,6 +118,12 @@ std::vector<Tensor> Grad(const Tensor& output, const std::vector<Tensor>& inputs
       if (existing == grads.end()) {
         grads[child.node()] = g;
       } else {
+        // Fan-in accumulation for multiply-consumed nodes.  The fold order is
+        // the reverse of `order`, which DFS fixes from graph structure alone —
+        // never from hash-map iteration — so a subgraph consumed by many
+        // heads (e.g. a shared θ-prefix reused by every inner-step loss, see
+        // models::CachedPrefix) accumulates its upstream gradients in the
+        // same order on every run, keeping Grad bit-reproducible.
         existing->second = Add(existing->second, g);
       }
     }

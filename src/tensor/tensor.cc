@@ -58,6 +58,9 @@ std::vector<float>* Tensor::mutable_data() {
   // edges but remain op results whose buffers the WorkspaceArena may recycle.
   FEWNER_CHECK(node_->inputs.empty() && node_->leaf,
                "mutable_data() is only valid on leaf tensors (op: " << node_->op << ")");
+  // Conservatively counts every mutable access as a mutation: cheaper than
+  // value hashing, and a false "changed" only costs a cache rebuild.
+  ++node_->version;
   return &node_->values;
 }
 

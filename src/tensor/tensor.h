@@ -40,6 +40,11 @@ struct Node {
   std::vector<Tensor> inputs;
   BackwardFn backward;
   uint64_t id = 0;  ///< Monotonic creation index; gives deterministic traversal.
+  /// In-place mutation counter, bumped by every mutable_data() access.  The
+  /// (id, version) pair therefore changes whenever a leaf's values may have
+  /// changed — by in-place optimizer steps (version) or by slot replacement
+  /// (fresh id) — which is what lets models::CachedPrefix detect stale θ.
+  uint64_t version = 0;
 };
 
 }  // namespace internal

@@ -198,12 +198,14 @@ TEST_F(ParallelTest, AccumulatorBuffersBitIdenticalAcrossThreadCounts) {
     GradAccumulator accumulator(nn::ParameterTensors(&master));
     const double loss_sum = batch.Run(
         kTasks,
-        [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+        [&](int64_t t, nn::Module* model,
+            const std::vector<Tensor>& replica_params,
+            std::vector<Tensor>* grads) -> double {
           auto* net = static_cast<models::Backbone*>(model);
           models::EncodedEpisode enc = PrepareTrainingTask(
               *sampler_, *encoder_, train_config_, static_cast<uint64_t>(t), net);
           Tensor loss = net->BatchLoss(enc.support, Tensor(), enc.valid_tags);
-          *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+          *grads = tensor::autodiff::Grad(loss, replica_params);
           return loss.item();
         },
         &accumulator);
@@ -280,7 +282,9 @@ TEST_F(ParallelTest, SecondOrderMetaGradientMatchesFiniteDifferenceThreaded) {
   GradAccumulator accumulator(nn::ParameterTensors(master));
   batch.Run(
       static_cast<int64_t>(tasks.size()),
-      [&](int64_t t, nn::Module* model, std::vector<Tensor>* grads) -> double {
+      [&](int64_t t, nn::Module* model,
+          const std::vector<Tensor>& replica_params,
+          std::vector<Tensor>* grads) -> double {
         auto* net = static_cast<models::Backbone*>(model);
         models::EncodedEpisode enc = PrepareTrainingTask(
             *sampler_, *encoder_, bounds, tasks[static_cast<size_t>(t)], net);
@@ -288,7 +292,7 @@ TEST_F(ParallelTest, SecondOrderMetaGradientMatchesFiniteDifferenceThreaded) {
             Fewner::AdaptContextOn(*net, enc.support, enc.valid_tags, kSteps,
                                    kInnerLr, /*create_graph=*/true);
         Tensor loss = net->BatchLoss(enc.query, phi, enc.valid_tags);
-        *grads = tensor::autodiff::Grad(loss, nn::ParameterTensors(net));
+        *grads = tensor::autodiff::Grad(loss, replica_params);
         return loss.item();
       },
       &accumulator);
