@@ -19,6 +19,9 @@
 // path's by tests/batch_test.cc.)
 //
 //   ./inference_throughput --batch-sizes 1,8,32 --min-seconds 1.0
+//
+// `--json <path>` writes the table for the in-repo perf trajectory
+// (BENCH_inference.json) and CI artifacts.
 
 #include <chrono>
 #include <cstdio>
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "data/episode_sampler.h"
 #include "data/synthetic.h"
 #include "meta/adapted_tagger.h"
@@ -67,6 +71,7 @@ int Main(int argc, char** argv) {
   flags.AddDouble("min-seconds", 1.0, "minimum measured wall time per cell");
   flags.AddInt("seed", 42, "global seed");
   flags.AddBool("verbose", false, "log progress");
+  bench::AddJsonFlag(&flags);
   util::Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
@@ -137,6 +142,18 @@ int Main(int argc, char** argv) {
   }
 
   const double min_seconds = flags.GetDouble("min-seconds");
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value("inference_throughput");
+  json.Key("hidden_dim");
+  json.Value(flags.GetInt("hidden-dim"));
+  json.Key("inner_steps");
+  json.Value(flags.GetInt("inner-steps"));
+  json.Key("results");
+  json.BeginArray();
+
   std::cout << "  batch    graph sent/s     eval sent/s  batched sent/s    speedup\n";
   double worst_speedup = 1e30;
   for (int64_t batch : batch_sizes) {
@@ -160,13 +177,39 @@ int Main(int argc, char** argv) {
     std::printf("%7lld %15.1f %15.1f %15.1f %9.2fx\n",
                 static_cast<long long>(batch), graph_rate, eval_rate,
                 batched_rate, speedup);
+
+    json.BeginObject();
+    json.Key("batch");
+    json.Value(batch);
+    json.Key("graph_sentences_per_s");
+    json.Value(graph_rate);
+    json.Key("eval_sentences_per_s");
+    json.Value(eval_rate);
+    json.Key("batched_sentences_per_s");
+    json.Value(batched_rate);
+    json.Key("speedup");
+    json.Value(speedup);
+    json.EndObject();
   }
+  json.EndArray();
+  json.Key("min_speedup");
+  json.Value(worst_speedup);
+  json.EndObject();
 
   const auto& arena = tensor::WorkspaceArena::ThreadLocal();
   std::printf("arena: %zu pooled nodes, %llu reuses / %llu allocations\n",
               arena.pool_size(), static_cast<unsigned long long>(arena.reuse_count()),
               static_cast<unsigned long long>(arena.alloc_count()));
   std::printf("minimum speedup across batch sizes: %.2fx\n", worst_speedup);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    if (!json.WriteFile(json_path)) {
+      std::cerr << "ERROR: could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }
 

@@ -18,6 +18,8 @@
 //
 // --second-order keeps the inner-step graph (create_graph) the way
 // meta-training does; the default measures the cheaper test-time adaptation.
+// `--json <path>` writes the table for the in-repo perf trajectory
+// (BENCH_training.json) and CI artifacts.
 
 #include <algorithm>
 #include <chrono>
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "data/episode_sampler.h"
 #include "data/synthetic.h"
 #include "meta/fewner.h"
@@ -109,6 +112,7 @@ int Main(int argc, char** argv) {
   flags.AddBool("second-order", false, "keep the inner-step graph (training mode)");
   flags.AddInt("seed", 42, "global seed");
   flags.AddBool("verbose", false, "log progress");
+  bench::AddJsonFlag(&flags);
   util::Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n" << flags.Usage(argv[0]);
@@ -201,6 +205,20 @@ int Main(int argc, char** argv) {
   }
 
   std::printf("parity checksum %.6f (serial == batched, bitwise)\n", checksum);
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value("training_throughput");
+  json.Key("hidden_dim");
+  json.Value(flags.GetInt("hidden-dim"));
+  json.Key("second_order");
+  json.Value(second_order);
+  json.Key("parity_checksum");
+  json.Value(checksum);
+  json.Key("results");
+  json.BeginArray();
+
   std::printf("      K       B   serial ep/s  batched ep/s    speedup\n");
   double worst_gated = 1e30;  // min speedup over K=5, B>=8 — the contract cells
   for (int64_t steps : step_counts) {
@@ -230,10 +248,36 @@ int Main(int argc, char** argv) {
       std::printf("%7lld %7lld %13.1f %13.1f %9.2fx\n",
                   static_cast<long long>(steps), static_cast<long long>(batch),
                   serial_rate, batched_rate, speedup);
+
+      json.BeginObject();
+      json.Key("inner_steps");
+      json.Value(steps);
+      json.Key("batch");
+      json.Value(batch);
+      json.Key("serial_episodes_per_s");
+      json.Value(serial_rate);
+      json.Key("batched_episodes_per_s");
+      json.Value(batched_rate);
+      json.Key("speedup");
+      json.Value(speedup);
+      json.EndObject();
     }
   }
+  json.EndArray();
   if (worst_gated < 1e30) {
     std::printf("minimum speedup at K>=5, B>=8: %.2fx\n", worst_gated);
+    json.Key("min_speedup_gated");
+    json.Value(worst_gated);
+  }
+  json.EndObject();
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    if (!json.WriteFile(json_path)) {
+      std::cerr << "ERROR: could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
   }
   return 0;
 }

@@ -12,16 +12,6 @@ using tensor::Tensor;
 
 namespace {
 constexpr float kInvalidScore = -1e7f;
-
-/// log-sum-exp over the *rows* ("from" axis) of an [Y, Y] score matrix,
-/// returning [1, Y].
-Tensor LogSumExpOverFrom(const Tensor& scores) {
-  const int64_t y = scores.shape().dim(1);
-  Tensor by_to = tensor::Transpose(scores);                  // [to, from]
-  Tensor lse = tensor::LogSumExpLastDim(by_to);              // [to, 1]
-  return tensor::Reshape(lse, Shape{1, y});
-}
-
 }  // namespace
 
 LinearChainCrf::LinearChainCrf(int64_t num_tags) : num_tags_(num_tags) {
@@ -70,11 +60,20 @@ Tensor LinearChainCrf::NegLogLikelihood(const Tensor& emissions,
   // --- log partition function via the forward algorithm ---
   Tensor alpha = tensor::Add(tensor::Reshape(start_, Shape{1, num_tags_}),
                              tensor::Slice(masked, 0, 0, 1));  // [1, Y]
+  // transitions^T hoisted out of the time loop, same construction as the
+  // batched path below: by_to[j, i] = alpha[i] + transitions[i, j], built
+  // directly in [to, from] layout via the trailing-[Y] broadcast.  Each
+  // element is the same float addition, with the same operand order, that the
+  // old alpha-column-broadcast + per-timestep Transpose performed, so values
+  // AND gradients are bitwise-unchanged — but the T-1 materialized [Y, Y]
+  // transposes (and their backward nodes) are gone.
+  Tensor trans_by_to = tensor::Transpose(transitions_);  // [to, from]
   for (int64_t t = 1; t < length; ++t) {
-    // scores[i, j] = alpha[i] + transitions[i, j]
-    Tensor scores =
-        tensor::Add(tensor::Reshape(alpha, Shape{num_tags_, 1}), transitions_);
-    alpha = tensor::Add(LogSumExpOverFrom(scores), tensor::Slice(masked, 0, t, 1));
+    Tensor by_to =
+        tensor::Add(tensor::Reshape(alpha, Shape{num_tags_}), trans_by_to);
+    alpha = tensor::Add(
+        tensor::Reshape(tensor::LogSumExpLastDim(by_to), Shape{1, num_tags_}),
+        tensor::Slice(masked, 0, t, 1));
   }
   Tensor final_scores = tensor::Add(alpha, end_);
   Tensor log_z = tensor::Reshape(tensor::LogSumExpLastDim(final_scores), Shape{});
@@ -148,9 +147,9 @@ Tensor LinearChainCrf::NegLogLikelihoodBatch(
   // transitions^T hoisted out of the time loop: by_to[b, j, i] = alpha[b, i] +
   // transitions[i, j], built directly in [B, to, from] layout.  Each element
   // is the same float addition, with the same operand order, that the
-  // single-sentence path's alpha-broadcast + Transpose produces — so the
-  // LogSumExpLastDim rows match that path bitwise while the per-timestep
-  // [B, Y, Y] transpose (and its backward) disappears.
+  // single-sentence path's hoisted [to, from] recursion produces — so the
+  // LogSumExpLastDim rows match that path bitwise with no per-timestep
+  // [B, Y, Y] transpose (or its backward) in either path.
   Tensor trans_by_to = tensor::Transpose(transitions_);  // [to, from]
   for (int64_t t = 1; t < max_len; ++t) {
     Tensor by_to = tensor::Add(tensor::Reshape(alpha, Shape{lanes, 1, num_tags_}),

@@ -33,7 +33,7 @@ Tensor MatchingNet::QueryLogProbs(const models::Backbone& net,
                                   const Tensor& support_features,
                                   const Tensor& support_labels) const {
   Tensor queries = NormalizedFeatures(net, sentence);  // [L, D]
-  Tensor cosine = tensor::MatMul(queries, tensor::Transpose(support_features));
+  Tensor cosine = tensor::MatMulNT(queries, support_features);  // [L, S·L]
   Tensor attention = tensor::SoftmaxLastDim(tensor::MulScalar(cosine, temperature_));
   Tensor votes = tensor::MatMul(attention, support_labels);  // rows sum to 1
   return tensor::Log(tensor::AddScalar(votes, 1e-6f));

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "tensor/intraop.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -65,6 +66,12 @@ double ParallelMetaBatch::Run(int64_t num_tasks, const TaskFn& fn,
       nn::Module* replica = Replica(w);
       const std::vector<tensor::Tensor>* params = &replica_params_[static_cast<size_t>(w)];
       pool_->Submit([&, replica, params] {
+        // Episode workers own the cores at the coarse grain; letting each one
+        // also shard its GEMMs would oversubscribe.  Pin intra-op to serial
+        // for this worker's tasks (bitwise-neutral either way — see
+        // tensor/intraop.h).  The serial fallback path above leaves the
+        // ambient budget alone, so single-worker runs still shard inside ops.
+        const tensor::ParallelismBudget serial_gemms(1);
         for (;;) {
           const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
           if (t >= num_tasks) return;

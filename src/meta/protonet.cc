@@ -62,7 +62,7 @@ Tensor ProtoNet::TokenLogits(const models::Backbone& net,
   Tensor p_sq = tensor::Reshape(
       tensor::SumAxis(tensor::Square(prototypes), 1, /*keepdim=*/false),
       Shape{1, num_classes});                                             // [1, C]
-  Tensor cross = tensor::MatMul(q, tensor::Transpose(prototypes));        // [L, C]
+  Tensor cross = tensor::MatMulNT(q, prototypes);                         // [L, C]
   Tensor logits = tensor::Neg(
       tensor::Add(tensor::Sub(q_sq, tensor::MulScalar(cross, 2.0f)), p_sq));
   // Classes absent from the support set cannot be predicted.

@@ -79,7 +79,7 @@ Tensor Snail::QueryLogProbs(const Model& m,
   Tensor queries = m.query_proj->Forward(enriched);            // [L, A]
   const float scale = 1.0f / std::sqrt(static_cast<float>(m.attn_dim));
   Tensor scores = tensor::MulScalar(
-      tensor::MatMul(queries, tensor::Transpose(support_keys)), scale);  // [L, T]
+      tensor::MatMulNT(queries, support_keys), scale);  // [L, T], q·keysᵀ
   Tensor attention = tensor::SoftmaxLastDim(scores);
   // Attention-weighted label read-out, re-weighted by a learned classifier so
   // the model can counteract the O-class prior of the support tokens.

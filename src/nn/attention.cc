@@ -28,7 +28,7 @@ Tensor SelfAttention::Forward(const Tensor& x) const {
   Tensor v = value_->Forward(x);
   const float scale = 1.0f / std::sqrt(static_cast<float>(model_dim_));
   Tensor scores =
-      tensor::MulScalar(tensor::MatMul(q, tensor::Transpose(k)), scale);  // [L, L]
+      tensor::MulScalar(tensor::MatMulNT(q, k), scale);  // [L, L], q·kᵀ
   if (mask_ == AttentionMask::kCausal) {
     // Additive mask: large negative above the diagonal.  A constant tensor —
     // masking carries no gradient of its own.

@@ -31,6 +31,9 @@ Tensor GruCell::ProjectInput(const Tensor& x) const {
 
 Tensor GruCell::Step(const Tensor& projected_row, const Tensor& h) const {
   const int64_t hd = hidden_dim_;
+  // This GEMM runs once per timestep, so its backward dominates BPTT cost:
+  // MatMul's NT/TN backward reads w_hh_ and h in place — no per-step
+  // w_hh_ᵀ / hᵀ transpose copies on the tape (tensor/ops.cc).
   Tensor hidden_proj = tensor::Add(tensor::MatMul(h, w_hh_), b_hh_);  // [1, 3H]
 
   Tensor xr = tensor::Slice(projected_row, 1, 0, hd);

@@ -22,6 +22,9 @@ Tensor Linear::Forward(const Tensor& x) const {
   FEWNER_CHECK(x.rank() == 2 && x.shape().dim(1) == in_features_,
                "Linear expects [n, " << in_features_ << "], got "
                                      << x.shape().ToString());
+  // x is often the full [B·L, in] activation block; MatMul's TN backward
+  // computes dW = xᵀ·grad in place of materializing that block transposed,
+  // which is the big per-step copy the old tape carried (tensor/ops.cc).
   Tensor out = tensor::MatMul(x, weight_);
   if (with_bias_) out = tensor::Add(out, bias_);
   return out;

@@ -37,6 +37,8 @@ Tensor LstmCell::ProjectInput(const Tensor& x) const {
 void LstmCell::Step(const Tensor& projected_row, const Tensor& h, const Tensor& c,
                     Tensor* h_next, Tensor* c_next) const {
   const int64_t hd = hidden_dim_;
+  // Per-timestep GEMM: its NT/TN backward reads w_hh_ and h in place, so BPTT
+  // carries no per-step w_hh_ᵀ / hᵀ transpose copies (tensor/ops.cc).
   Tensor gates =
       tensor::Add(projected_row, tensor::MatMul(h, w_hh_));  // [1, 4H]
   Tensor i = tensor::Sigmoid(tensor::Slice(gates, 1, 0, hd));

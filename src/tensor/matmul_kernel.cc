@@ -1,5 +1,8 @@
 #include "tensor/matmul_kernel.h"
 
+#include <cstddef>
+#include <vector>
+
 // Vectorization hint for an inner loop whose iterations are independent.
 // Ordered weakest-assumption first: `omp simd` when the build enables it
 // (-fopenmp-simd, no runtime), otherwise a compiler-specific no-dependence
@@ -64,6 +67,54 @@ void RowBlock(const float* a, const float* b, float* c, int64_t k, int64_t n) {
   if (j < n) TailCols<MI>(a, b, c, k, n, j);
 }
 
+/// TN variant of MicroTile: C rows are A *columns*, so the MI values per k
+/// step come from one contiguous stretch of A's row kk (a + kk * lda).  Same
+/// rank-1-update structure and accumulation order as MicroTile.
+template <int MI>
+inline void MicroTileTN(const float* a, const float* b, float* c, int64_t k,
+                        int64_t n, int64_t lda, int64_t j0) {
+  float acc[MI][kColTile] = {};
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* acol = a + kk * lda;
+    const float* brow = b + kk * n + j0;
+    for (int ii = 0; ii < MI; ++ii) {
+      const float aik = acol[ii];
+      FEWNER_SIMD
+      for (int jj = 0; jj < kColTile; ++jj) acc[ii][jj] += aik * brow[jj];
+    }
+  }
+  for (int ii = 0; ii < MI; ++ii) {
+    FEWNER_SIMD
+    for (int jj = 0; jj < kColTile; ++jj) c[ii * n + j0 + jj] = acc[ii][jj];
+  }
+}
+
+/// TN remainder columns: one scalar accumulator per element, ascending k.
+template <int MI>
+inline void TailColsTN(const float* a, const float* b, float* c, int64_t k,
+                       int64_t n, int64_t lda, int64_t j0) {
+  for (int ii = 0; ii < MI; ++ii) {
+    for (int64_t j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a[kk * lda + ii] * b[kk * n + j];
+      }
+      c[ii * n + j] = acc;
+    }
+  }
+}
+
+/// MI consecutive rows of C = MI consecutive columns of A.
+template <int MI>
+void RowBlockTN(const float* a, const float* b, float* c, int64_t k, int64_t n,
+                int64_t lda) {
+  int64_t j = 0;
+  for (; j + kColTile <= n; j += kColTile) {
+    MicroTileTN<MI>(a, b, c, k, n, lda, j);
+  }
+  if (j < n) TailColsTN<MI>(a, b, c, k, n, lda, j);
+}
+
 }  // namespace
 
 void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
@@ -85,6 +136,50 @@ void MatMulBlocked(const float* a, const float* b, float* c, int64_t m,
     default:
       break;
   }
+}
+
+void MatMulNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n) {
+  float* bt = TransposeScratch(k * n);
+  PackTranspose(b, bt, n, k);  // b [n, k] -> bt [k, n]
+  MatMulBlocked(a, bt, c, m, k, n);
+}
+
+void MatMulTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n, int64_t lda) {
+  if (lda < 0) lda = m;
+  int64_t i = 0;
+  for (; i + kRowTile <= m; i += kRowTile) {
+    RowBlockTN<kRowTile>(a + i, b, c + i * n, k, n, lda);
+  }
+  switch (m - i) {
+    case 3:
+      RowBlockTN<3>(a + i, b, c + i * n, k, n, lda);
+      break;
+    case 2:
+      RowBlockTN<2>(a + i, b, c + i * n, k, n, lda);
+      break;
+    case 1:
+      RowBlockTN<1>(a + i, b, c + i * n, k, n, lda);
+      break;
+    default:
+      break;
+  }
+}
+
+void PackTranspose(const float* src, float* dst, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* srow = src + r * cols;
+    for (int64_t cc = 0; cc < cols; ++cc) dst[cc * rows + r] = srow[cc];
+  }
+}
+
+float* TransposeScratch(int64_t numel) {
+  static thread_local std::vector<float> scratch;
+  if (static_cast<int64_t>(scratch.size()) < numel) {
+    scratch.resize(static_cast<size_t>(numel));
+  }
+  return scratch.data();
 }
 
 void MatMulNaive(const float* a, const float* b, float* c, int64_t m, int64_t k,

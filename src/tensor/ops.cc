@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "tensor/eval_mode.h"
+#include "tensor/intraop.h"
 #include "tensor/matmul_kernel.h"
 
 namespace fewner::tensor {
@@ -747,11 +748,71 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   OpOutput out = NewOutput("matmul", Shape{m, n});
   // The register-tiled kernel serves graph and eval mode alike, so training
   // forwards take the same fast path as serving.
-  kernel::MatMulBlocked(a.data().data(), b.data().data(), out.data(), m, k, n);
+  kernel::GemmNN(a.data().data(), b.data().data(), out.data(), m, k, n);
   if (EvalMode::active()) return SealEval(std::move(out));
+  // dA = G·Bᵀ and dB = Aᵀ·G go straight to the NT/TN kernels — no Transpose
+  // nodes, no copies — and each is built only for an input that can use it.
+  const bool need_a = a.requires_grad();
+  const bool need_b = b.requires_grad();
   return SealGraph(std::move(out), {a, b},
-                   [a, b](const Tensor&, const Tensor& grad) -> std::vector<Tensor> {
-                     return {MatMul(grad, Transpose(b)), MatMul(Transpose(a), grad)};
+                   [a, b, need_a, need_b](const Tensor&,
+                                          const Tensor& grad) -> std::vector<Tensor> {
+                     std::vector<Tensor> grads(2);
+                     if (need_a) grads[0] = MatMulNT(grad, b);
+                     if (need_b) grads[1] = MatMulTN(a, grad);
+                     return grads;
+                   });
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  FEWNER_CHECK(a.rank() == 2 && b.rank() == 2,
+               "MatMulNT requires rank-2 operands, got " << a.shape().ToString() << " x "
+                                                         << b.shape().ToString());
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(0);
+  FEWNER_CHECK(b.shape().dim(1) == k, "MatMulNT inner dim mismatch: "
+                                          << a.shape().ToString() << " x "
+                                          << b.shape().ToString() << "^T");
+  OpOutput out = NewOutput("matmul_nt", Shape{m, n});
+  kernel::GemmNT(a.data().data(), b.data().data(), out.data(), m, k, n);
+  if (EvalMode::active()) return SealEval(std::move(out));
+  // C = A·Bᵀ: dA = G·B (plain NN), dB = Gᵀ·A.
+  const bool need_a = a.requires_grad();
+  const bool need_b = b.requires_grad();
+  return SealGraph(std::move(out), {a, b},
+                   [a, b, need_a, need_b](const Tensor&,
+                                          const Tensor& grad) -> std::vector<Tensor> {
+                     std::vector<Tensor> grads(2);
+                     if (need_a) grads[0] = MatMul(grad, b);
+                     if (need_b) grads[1] = MatMulTN(grad, a);
+                     return grads;
+                   });
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  FEWNER_CHECK(a.rank() == 2 && b.rank() == 2,
+               "MatMulTN requires rank-2 operands, got " << a.shape().ToString() << "^T x "
+                                                         << b.shape().ToString());
+  const int64_t k = a.shape().dim(0);
+  const int64_t m = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  FEWNER_CHECK(b.shape().dim(0) == k, "MatMulTN inner dim mismatch: "
+                                          << a.shape().ToString() << "^T x "
+                                          << b.shape().ToString());
+  OpOutput out = NewOutput("matmul_tn", Shape{m, n});
+  kernel::GemmTN(a.data().data(), b.data().data(), out.data(), m, k, n);
+  if (EvalMode::active()) return SealEval(std::move(out));
+  // C = Aᵀ·B: dA = B·Gᵀ, dB = A·G (plain NN).
+  const bool need_a = a.requires_grad();
+  const bool need_b = b.requires_grad();
+  return SealGraph(std::move(out), {a, b},
+                   [a, b, need_a, need_b](const Tensor&,
+                                          const Tensor& grad) -> std::vector<Tensor> {
+                     std::vector<Tensor> grads(2);
+                     if (need_a) grads[0] = MatMulNT(b, grad);
+                     if (need_b) grads[1] = MatMul(a, grad);
+                     return grads;
                    });
 }
 

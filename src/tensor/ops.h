@@ -99,6 +99,17 @@ Tensor MaxAxis(const Tensor& t, int64_t axis, bool keepdim);
 /// [m, k] x [k, n] -> [m, n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// [m, k] x [n, k]ᵀ -> [m, n]: MatMul(a, Transpose(b)) without the
+/// materialized transpose node or copy, bitwise-identical to that
+/// composition.  The MatMul family {MatMul, MatMulNT, MatMulTN} is closed
+/// under differentiation, so higher-order autodiff stays transpose-free too.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+
+/// [k, m]ᵀ x [k, n] -> [m, n]: MatMul(Transpose(a), b) without the
+/// materialized transpose node or copy, bitwise-identical to that
+/// composition.
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
 // ----- gather / scatter -----
 
 /// Selects rows of a [V, D] matrix: result[i, :] = t[indices[i], :].

@@ -59,8 +59,8 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-int64_t ThreadPool::DefaultThreadCount() {
-  const char* env = std::getenv("FEWNER_THREADS");
+int64_t ThreadCountFromEnv(const char* var) {
+  const char* env = std::getenv(var);
   if (env == nullptr || *env == '\0') return 1;
   char* end = nullptr;
   const long value = std::strtol(env, &end, 10);
@@ -70,6 +70,10 @@ int64_t ThreadPool::DefaultThreadCount() {
     return hw == 0 ? 1 : static_cast<int64_t>(hw);
   }
   return static_cast<int64_t>(value);
+}
+
+int64_t ThreadPool::DefaultThreadCount() {
+  return ThreadCountFromEnv("FEWNER_THREADS");
 }
 
 }  // namespace fewner::util

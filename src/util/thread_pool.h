@@ -20,6 +20,12 @@
 
 namespace fewner::util {
 
+/// Parses a thread-count environment variable shared by FEWNER_THREADS
+/// (episode parallelism) and FEWNER_INTRAOP_THREADS (intra-op GEMM slabs):
+/// returns 1 when the variable is unset, empty, or not a non-negative
+/// integer; "0" means "use all hardware threads".
+int64_t ThreadCountFromEnv(const char* var);
+
 /// Fixed worker count; tasks are run in submission order (per worker pickup).
 class ThreadPool {
  public:

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "tensor/autodiff.h"
@@ -138,6 +139,156 @@ TEST(GradCheckTest, MatMulBothSides) {
   a.set_requires_grad(false);
   CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMul(a, x))); },
                 RandTensor(Shape{3, 2}, 23));
+}
+
+TEST(GradCheckTest, MatMulNTBothSides) {
+  Tensor b = RandTensor(Shape{2, 3}, 24);  // [n, k]
+  b.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMulNT(x, b))); },
+                RandTensor(Shape{4, 3}, 25));
+  Tensor a = RandTensor(Shape{4, 3}, 26);
+  a.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMulNT(a, x))); },
+                RandTensor(Shape{2, 3}, 27));
+}
+
+TEST(GradCheckTest, MatMulTNBothSides) {
+  Tensor b = RandTensor(Shape{3, 2}, 28);  // [k, n]
+  b.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMulTN(x, b))); },
+                RandTensor(Shape{3, 4}, 29));
+  Tensor a = RandTensor(Shape{3, 4}, 35);
+  a.set_requires_grad(false);
+  CheckGradient([&](const Tensor& x) { return SumAll(Square(MatMulTN(a, x))); },
+                RandTensor(Shape{3, 2}, 36));
+}
+
+TEST(AutodiffTest, MatMulFamilyMatchesTransposeCompositionBitwise) {
+  // The NT/TN ops and MatMul's transpose-free backward must reproduce the
+  // transpose-materializing formulations they replaced to the last bit —
+  // forward values AND gradients, including through create_graph.  `s` seeds
+  // a non-trivial incoming gradient for the product.
+  Tensor a = RandTensor(Shape{5, 3}, 90);
+  Tensor b = RandTensor(Shape{3, 4}, 91);
+  Tensor s = RandTensor(Shape{5, 4}, 92);
+  s.set_requires_grad(false);
+
+  struct Formulation {
+    Tensor value;
+    std::vector<Tensor> grads;
+  };
+  auto run = [&](const std::function<Tensor()>& product) {
+    Tensor c = product();
+    auto grads = Grad(SumAll(Mul(c, s)), {a, b}, /*create_graph=*/true);
+    return Formulation{c, std::move(grads)};
+  };
+  auto expect_same = [](const Formulation& got, const Formulation& want) {
+    ASSERT_EQ(got.value.shape(), want.value.shape());
+    for (int64_t i = 0; i < got.value.numel(); ++i) {
+      ASSERT_EQ(std::memcmp(&got.value.data()[static_cast<size_t>(i)],
+                            &want.value.data()[static_cast<size_t>(i)],
+                            sizeof(float)),
+                0)
+          << "value elem " << i;
+    }
+    for (size_t gi = 0; gi < got.grads.size(); ++gi) {
+      for (int64_t i = 0; i < got.grads[gi].numel(); ++i) {
+        ASSERT_EQ(std::memcmp(&got.grads[gi].data()[static_cast<size_t>(i)],
+                              &want.grads[gi].data()[static_cast<size_t>(i)],
+                              sizeof(float)),
+                  0)
+            << "grad " << gi << " elem " << i;
+      }
+    }
+  };
+
+  // NN: a [5, 3] x b [3, 4].
+  expect_same(run([&] { return MatMul(a, b); }),
+              run([&] { return Transpose(Transpose(MatMul(a, b))); }));
+  // NT: a [5, 3] x (bᵀ [3, 4])ᵀ — composition materializes Transpose(bᵀ).
+  Tensor bt = Transpose(b);  // [4, 3], shares b's requires_grad chain
+  expect_same(run([&] { return MatMulNT(a, bt); }),
+              run([&] { return MatMul(a, Transpose(bt)); }));
+  // TN: (aᵀ [3, 5])ᵀ x b — composition materializes Transpose(aᵀ).
+  Tensor at = Transpose(a);  // [3, 5]
+  expect_same(run([&] { return MatMulTN(at, b); }),
+              run([&] { return MatMul(Transpose(at), b); }));
+}
+
+TEST(AutodiffTest, MatMulFamilySkipsGradExpressionsForConstantInputs) {
+  // A backward invocation may return an undefined Tensor for an input with
+  // requires_grad() == false (tensor.h's BackwardFn contract); the MatMul
+  // family exploits that so a frozen operand — e.g. θ during test-time
+  // adaptation — costs neither a transpose nor a GEMM on the tape.
+  Tensor ones = Tensor::Ones(Shape{2, 4});
+  {
+    Tensor a = RandTensor(Shape{2, 3}, 93);
+    Tensor b = RandTensor(Shape{3, 4}, 94);
+    b.set_requires_grad(false);
+    Tensor c = MatMul(a, b);
+    auto grads = c.node()->backward(c, ones);
+    ASSERT_EQ(grads.size(), 2u);
+    EXPECT_TRUE(grads[0].defined());
+    EXPECT_FALSE(grads[1].defined());
+  }
+  {
+    Tensor a = RandTensor(Shape{2, 3}, 95);
+    a.set_requires_grad(false);
+    Tensor b = RandTensor(Shape{4, 3}, 96);
+    Tensor c = MatMulNT(a, b);
+    auto grads = c.node()->backward(c, ones);
+    EXPECT_FALSE(grads[0].defined());
+    EXPECT_TRUE(grads[1].defined());
+  }
+  {
+    Tensor a = RandTensor(Shape{3, 2}, 97);
+    Tensor b = RandTensor(Shape{3, 4}, 98);
+    b.set_requires_grad(false);
+    Tensor c = MatMulTN(a, b);
+    auto grads = c.node()->backward(c, ones);
+    EXPECT_TRUE(grads[0].defined());
+    EXPECT_FALSE(grads[1].defined());
+  }
+  // End-to-end: Grad through a frozen-weight product still works and matches
+  // the analytic value dL/da = 1·bᵀ for L = sum(a·b).
+  Tensor a = RandTensor(Shape{2, 3}, 99);
+  Tensor b = RandTensor(Shape{3, 4}, 100);
+  b.set_requires_grad(false);
+  auto g = Grad(SumAll(MatMul(a, b)), {a});
+  Tensor expected = MatMulNT(Tensor::Ones(Shape{2, 4}), b);
+  for (int64_t i = 0; i < expected.numel(); ++i) {
+    EXPECT_FLOAT_EQ(g[0].at(i), expected.at(i)) << "element " << i;
+  }
+}
+
+TEST(SecondOrderTest, ThroughMatMulNTChain) {
+  // Same quadratic-in-w check as ThroughMatMulChain, but the product is
+  // expressed with MatMulNT so the second-order path exercises the
+  // NT -> {NN, TN} backward closure chain.
+  Tensor x = RandTensor(Shape{4, 3}, 84);
+  x.set_requires_grad(false);
+  Tensor w = RandTensor(Shape{2, 3}, 85);  // [n, k] for NT
+
+  auto first_grad_sum = [&](const Tensor& wt) {
+    Tensor loss = SumAll(Square(MatMulNT(x, wt)));
+    auto g = Grad(loss, {wt}, /*create_graph=*/true);
+    return SumAll(g[0]);
+  };
+
+  Tensor gg_sum = first_grad_sum(w);
+  auto second = Grad(gg_sum, {w});
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    std::vector<float> plus = w.data(), minus = w.data();
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    Tensor wp = Tensor::FromData(w.shape(), plus, true);
+    Tensor wm = Tensor::FromData(w.shape(), minus, true);
+    const float numeric =
+        (first_grad_sum(wp).item() - first_grad_sum(wm).item()) / (2 * eps);
+    EXPECT_NEAR(second[0].at(i), numeric, 5e-2f) << "element " << i;
+  }
 }
 
 TEST(GradCheckTest, ShapeOps) {

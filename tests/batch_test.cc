@@ -26,6 +26,7 @@
 #include "models/encoding.h"
 #include "tensor/autodiff.h"
 #include "tensor/eval_mode.h"
+#include "tensor/intraop.h"
 #include "tensor/ops.h"
 #include "text/bio.h"
 #include "util/rng.h"
@@ -491,6 +492,69 @@ TEST_F(BatchParityTest, SecondOrderFiniteDifferenceThroughBatchedInnerLoop) {
                   3e-2f + 0.05f * std::abs(numeric))
           << "slot " << i << " element " << j;
     }
+  }
+}
+
+TEST_F(BatchParityTest, WholeModelBitwiseInvariantAcrossIntraOpBudgets) {
+  // Dims sized so the big GEMMs clear the intra-op dispatch threshold (2^18
+  // m·k·n flops at B·L = 100 rows): the budget-4 run genuinely shards, and
+  // must stay 0 ULP against the budget-1 (serial) run for emissions, losses,
+  // meta-gradients — covering the NT/TN backward family — and Viterbi tags.
+  models::BackboneConfig config =
+      SmallConfig(models::EncoderKind::kBiGru, models::Conditioning::kFilm);
+  config.word_dim = 48;
+  config.char_dim = 8;
+  config.filters_per_width = 8;
+  config.hidden_dim = 48;
+  util::Rng init(0xD77);
+  models::Backbone net(config, &init);
+  net.SetTraining(false);
+  util::Rng rng(0xEE06);
+  const std::vector<bool> valid_tags = text::ValidTagMask(5, config.max_tags);
+  std::vector<models::EncodedSentence> sentences;
+  for (int b = 0; b < 5; ++b) {
+    sentences.push_back(RandomSentence(&rng, 20, valid_tags));
+  }
+  const models::EncodedBatch batch = models::PackBatch(sentences);
+
+  struct Run {
+    Tensor emissions;
+    float loss = 0.0f;
+    std::vector<Tensor> grads;
+    std::vector<std::vector<int64_t>> tags;
+  };
+  auto run = [&](int64_t threads) {
+    tensor::ParallelismBudget budget(threads);
+    Run out;
+    Tensor phi0 = net.ZeroContext();
+    out.emissions = net.EmissionsBatch(batch, phi0).Detach();
+    // One differentiated adaptation step before the outer loss, so the
+    // meta-gradient routes through second-order NT/TN backward GEMMs too.
+    Tensor phi = tensor::Sub(
+        phi0,
+        tensor::MulScalar(Grad(net.BatchLoss(batch, phi0, valid_tags), {phi0},
+                               /*create_graph=*/true)[0],
+                          0.05f));
+    Tensor loss = net.BatchLoss(batch, phi, valid_tags);
+    out.loss = loss.item();
+    out.grads = Grad(loss, nn::ParameterTensors(&net));
+    out.tags = net.DecodeBatch(batch, net.ZeroContext(), valid_tags);
+    return out;
+  };
+
+  const Run serial = run(1);
+  for (int64_t threads : {2, 4}) {
+    const Run sharded = run(threads);
+    const std::string label = "intra-op budget " + std::to_string(threads);
+    ExpectBitwise(serial.emissions, sharded.emissions, label + " emissions");
+    EXPECT_EQ(std::memcmp(&serial.loss, &sharded.loss, sizeof(float)), 0)
+        << label << " query loss";
+    ASSERT_EQ(serial.grads.size(), sharded.grads.size());
+    for (size_t i = 0; i < serial.grads.size(); ++i) {
+      ExpectBitwise(serial.grads[i], sharded.grads[i],
+                    label + " meta-gradient slot " + std::to_string(i));
+    }
+    EXPECT_EQ(serial.tags, sharded.tags) << label << " viterbi tags";
   }
 }
 

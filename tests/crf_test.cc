@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "crf/linear_chain_crf.h"
@@ -165,6 +166,78 @@ TEST_F(CrfTest, GradCheckTransitions) {
     const float lm = crf_->NegLogLikelihood(emissions_, gold).item();
     (*values)[static_cast<size_t>(i)] = saved;
     EXPECT_NEAR(g[0].at(i), (lp - lm) / (2 * eps), 2e-2) << "transition " << i;
+  }
+}
+
+TEST_F(CrfTest, HoistedRecursionMatchesPerTimestepTransposeBitwise) {
+  // The forward algorithm now hoists transitionsᵀ out of the time loop and
+  // builds by_to[j, i] = alpha[i] + transitions[i, j] directly in [to, from]
+  // layout.  This test reconstructs the previous formulation — alpha broadcast
+  // down the columns of transitions followed by a materialized [Y, Y]
+  // Transpose every timestep — and requires the NLL *and* every parameter
+  // gradient to be bitwise-identical, not merely close.
+  const int64_t y = 3;
+  const int64_t length = 4;
+  const std::vector<int64_t> gold = {1, 0, 2, 1};
+  Tensor trans = *crf_->Parameters()[0];
+  Tensor start = *crf_->Parameters()[1];
+  Tensor end = *crf_->Parameters()[2];
+
+  Tensor nll_new = crf_->NegLogLikelihood(emissions_, gold);
+  auto g_new = tensor::autodiff::Grad(nll_new, {emissions_, trans, start, end});
+
+  // Old formulation, reconstructed op-for-op (ValidityMask with no mask is a
+  // broadcast add of zeros, reproduced literally to keep the graphs aligned).
+  Tensor masked = tensor::Add(
+      emissions_, Tensor::FromData(Shape{y}, std::vector<float>(y, 0.0f)));
+  Tensor alpha = tensor::Add(tensor::Reshape(start, Shape{1, y}),
+                             tensor::Slice(masked, 0, 0, 1));
+  for (int64_t t = 1; t < length; ++t) {
+    Tensor scores = tensor::Add(tensor::Reshape(alpha, Shape{y, 1}), trans);
+    Tensor lse = tensor::Reshape(
+        tensor::LogSumExpLastDim(tensor::Transpose(scores)), Shape{1, y});
+    alpha = tensor::Add(lse, tensor::Slice(masked, 0, t, 1));
+  }
+  Tensor log_z = tensor::Reshape(
+      tensor::LogSumExpLastDim(tensor::Add(alpha, end)), Shape{});
+
+  std::vector<float> emit_mask(static_cast<size_t>(length * y), 0.0f);
+  for (int64_t t = 0; t < length; ++t) {
+    emit_mask[static_cast<size_t>(t * y + gold[static_cast<size_t>(t)])] = 1.0f;
+  }
+  std::vector<float> trans_count(static_cast<size_t>(y * y), 0.0f);
+  for (int64_t t = 1; t < length; ++t) {
+    trans_count[static_cast<size_t>(gold[static_cast<size_t>(t - 1)] * y +
+                                    gold[static_cast<size_t>(t)])] += 1.0f;
+  }
+  std::vector<float> start_mask(static_cast<size_t>(y), 0.0f);
+  start_mask[static_cast<size_t>(gold.front())] = 1.0f;
+  std::vector<float> end_mask(static_cast<size_t>(y), 0.0f);
+  end_mask[static_cast<size_t>(gold.back())] = 1.0f;
+  Tensor gold_score = tensor::Add(
+      tensor::Add(
+          tensor::SumAll(tensor::Mul(
+              masked,
+              Tensor::FromData(Shape{length, y}, std::move(emit_mask)))),
+          tensor::SumAll(tensor::Mul(
+              trans, Tensor::FromData(Shape{y, y}, std::move(trans_count))))),
+      tensor::Add(
+          tensor::SumAll(tensor::Mul(
+              start, Tensor::FromData(Shape{y}, std::move(start_mask)))),
+          tensor::SumAll(tensor::Mul(
+              end, Tensor::FromData(Shape{y}, std::move(end_mask))))));
+  Tensor nll_old = tensor::Sub(log_z, gold_score);
+  auto g_old = tensor::autodiff::Grad(nll_old, {emissions_, trans, start, end});
+
+  ASSERT_EQ(std::memcmp(nll_new.data().data(), nll_old.data().data(),
+                        sizeof(float)),
+            0);
+  for (size_t i = 0; i < g_new.size(); ++i) {
+    ASSERT_EQ(g_new[i].numel(), g_old[i].numel());
+    EXPECT_EQ(std::memcmp(g_new[i].data().data(), g_old[i].data().data(),
+                          static_cast<size_t>(g_new[i].numel()) * sizeof(float)),
+              0)
+        << "gradient " << i << " diverges from the per-timestep-transpose path";
   }
 }
 

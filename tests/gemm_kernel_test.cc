@@ -1,0 +1,253 @@
+// Kernel-layer coverage for the transpose-free GEMM family and the
+// deterministic intra-op dispatch (tensor/matmul_kernel.h, tensor/intraop.h).
+//
+// Three claims are pinned here, all to the last bit:
+//   1. MatMulBlocked / MatMulNT / MatMulTN match naive ascending-k references
+//      on shapes that straddle every tile remainder — and NT/TN match the
+//      transpose-then-MatMulBlocked composition they replaced.
+//   2. Row-sharded parallel dispatch is bitwise-invariant to the intra-op
+//      budget: each output element keeps its single ascending-k accumulator
+//      no matter which slab (thread) computes it.
+//   3. Concurrent dispatchers on the shared slab pool do not interfere —
+//      re-run under -DFEWNER_SANITIZE=thread via the `tsan` ctest label.
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/intraop.h"
+#include "tensor/matmul_kernel.h"
+#include "util/rng.h"
+
+namespace fewner::tensor {
+namespace {
+
+std::vector<float> RandomVec(int64_t numel, util::Rng* rng) {
+  std::vector<float> v(static_cast<size_t>(numel));
+  for (float& x : v) x = static_cast<float>(rng->Gaussian(0.0, 1.0));
+  return v;
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& got,
+                        const std::vector<float>& want, const char* what,
+                        int64_t m, int64_t k, int64_t n) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(float)), 0)
+        << what << " m=" << m << " k=" << k << " n=" << n << " elem " << i
+        << ": " << got[i] << " vs " << want[i];
+  }
+}
+
+/// Reference NT: c[i, j] = sum_kk a[i, kk] * b[j, kk], kk ascending, one
+/// scalar accumulator per element.
+void NaiveNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[j * k + kk];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+/// Reference TN: c[i, j] = sum_kk a[kk, i] * b[kk, j], kk ascending.
+void NaiveTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * m + i] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+std::vector<float> Transposed(const std::vector<float>& src, int64_t rows,
+                              int64_t cols) {
+  std::vector<float> dst(src.size());
+  kernel::PackTranspose(src.data(), dst.data(), rows, cols);
+  return dst;
+}
+
+TEST(GemmKernelTest, FamilyMatchesNaiveReferencesBitwiseOnSweep) {
+  // Every m, k, n in 1..17 hits each register-tile remainder (4-row, 8-col);
+  // the larger sizes are exact tile multiples.
+  std::vector<int64_t> sizes;
+  for (int64_t s = 1; s <= 17; ++s) sizes.push_back(s);
+  sizes.push_back(24);
+  sizes.push_back(32);
+  util::Rng rng(2024);
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        const std::vector<float> a_nn = RandomVec(m * k, &rng);
+        const std::vector<float> b_nn = RandomVec(k * n, &rng);
+        std::vector<float> got(static_cast<size_t>(m * n), -1.0f);
+        std::vector<float> want(static_cast<size_t>(m * n), -2.0f);
+
+        kernel::MatMulBlocked(a_nn.data(), b_nn.data(), got.data(), m, k, n);
+        kernel::MatMulNaive(a_nn.data(), b_nn.data(), want.data(), m, k, n);
+        ExpectBitwiseEqual(got, want, "NN", m, k, n);
+
+        // NT with the same operands read as a[m, k], b[n, k].
+        const std::vector<float> b_nt = RandomVec(n * k, &rng);
+        kernel::MatMulNT(a_nn.data(), b_nt.data(), got.data(), m, k, n);
+        NaiveNT(a_nn.data(), b_nt.data(), want.data(), m, k, n);
+        ExpectBitwiseEqual(got, want, "NT", m, k, n);
+
+        // ... and against the graph-level composition NT replaced:
+        // MatMulBlocked(a, transpose(b)).
+        const std::vector<float> b_nt_t = Transposed(b_nt, n, k);  // [k, n]
+        kernel::MatMulBlocked(a_nn.data(), b_nt_t.data(), want.data(), m, k, n);
+        kernel::MatMulNT(a_nn.data(), b_nt.data(), got.data(), m, k, n);
+        ExpectBitwiseEqual(got, want, "NT-vs-transpose", m, k, n);
+
+        // TN with a read as [k, m].
+        const std::vector<float> a_tn = RandomVec(k * m, &rng);
+        kernel::MatMulTN(a_tn.data(), b_nn.data(), got.data(), m, k, n);
+        NaiveTN(a_tn.data(), b_nn.data(), want.data(), m, k, n);
+        ExpectBitwiseEqual(got, want, "TN", m, k, n);
+
+        const std::vector<float> a_tn_t = Transposed(a_tn, k, m);  // [m, k]
+        kernel::MatMulBlocked(a_tn_t.data(), b_nn.data(), want.data(), m, k, n);
+        kernel::MatMulTN(a_tn.data(), b_nn.data(), got.data(), m, k, n);
+        ExpectBitwiseEqual(got, want, "TN-vs-transpose", m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmKernelTest, TnColumnBlockWithLeadingDimensionMatchesFullMatrix) {
+  // The sharded dispatch computes a row range of C as a *column* block of A
+  // addressed through lda; splicing the block results must reproduce the
+  // whole-matrix call bitwise.
+  util::Rng rng(7);
+  const int64_t m = 23, k = 31, n = 13;
+  const std::vector<float> a = RandomVec(k * m, &rng);
+  const std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> whole(static_cast<size_t>(m * n));
+  kernel::MatMulTN(a.data(), b.data(), whole.data(), m, k, n);
+  std::vector<float> spliced(static_cast<size_t>(m * n), -1.0f);
+  for (int64_t row0 : {int64_t{0}, int64_t{9}, int64_t{18}}) {
+    const int64_t rows = std::min<int64_t>(9, m - row0);
+    kernel::MatMulTN(a.data() + row0, b.data(), spliced.data() + row0 * n, rows,
+                     k, n, /*lda=*/m);
+  }
+  ExpectBitwiseEqual(spliced, whole, "TN-lda", m, k, n);
+}
+
+TEST(GemmKernelTest, ShardedDispatchBitwiseEqualAcrossBudgets) {
+  // Shapes chosen to clear the flop threshold (m·k·n >= 2^18) with awkward
+  // row counts, so the slab partition has remainders; plus one below the
+  // threshold to cover the serial gate.  Budgets beyond the hardware simply
+  // queue — the result may not get faster, but it must not change.
+  struct Case {
+    int64_t m, k, n;
+  };
+  const Case cases[] = {{97, 64, 48}, {128, 80, 33}, {259, 37, 40}, {16, 8, 8}};
+  util::Rng rng(99);
+  for (const Case& c : cases) {
+    const std::vector<float> a = RandomVec(c.m * c.k, &rng);
+    const std::vector<float> b_nn = RandomVec(c.k * c.n, &rng);
+    const std::vector<float> b_nt = RandomVec(c.n * c.k, &rng);
+    const std::vector<float> a_tn = RandomVec(c.k * c.m, &rng);
+    std::vector<float> serial_nn(static_cast<size_t>(c.m * c.n));
+    std::vector<float> serial_nt(static_cast<size_t>(c.m * c.n));
+    std::vector<float> serial_tn(static_cast<size_t>(c.m * c.n));
+    {
+      ParallelismBudget one(1);
+      kernel::GemmNN(a.data(), b_nn.data(), serial_nn.data(), c.m, c.k, c.n);
+      kernel::GemmNT(a.data(), b_nt.data(), serial_nt.data(), c.m, c.k, c.n);
+      kernel::GemmTN(a_tn.data(), b_nn.data(), serial_tn.data(), c.m, c.k, c.n);
+    }
+    for (int64_t budget : {2, 3, 8}) {
+      ParallelismBudget scoped(budget);
+      std::vector<float> got(static_cast<size_t>(c.m * c.n), -1.0f);
+      kernel::GemmNN(a.data(), b_nn.data(), got.data(), c.m, c.k, c.n);
+      ExpectBitwiseEqual(got, serial_nn, "GemmNN", c.m, c.k, budget);
+      kernel::GemmNT(a.data(), b_nt.data(), got.data(), c.m, c.k, c.n);
+      ExpectBitwiseEqual(got, serial_nt, "GemmNT", c.m, c.k, budget);
+      kernel::GemmTN(a_tn.data(), b_nn.data(), got.data(), c.m, c.k, c.n);
+      ExpectBitwiseEqual(got, serial_tn, "GemmTN", c.m, c.k, budget);
+    }
+  }
+}
+
+TEST(GemmKernelTest, ParallelismBudgetScopesNestAndRestore) {
+  const int64_t ambient = ParallelismBudget::current();
+  {
+    ParallelismBudget outer(4);
+    EXPECT_EQ(ParallelismBudget::current(), 4);
+    {
+      ParallelismBudget inner(-3);  // clamps to 1
+      EXPECT_EQ(ParallelismBudget::current(), 1);
+      {
+        ParallelismBudget innermost(2);
+        EXPECT_EQ(ParallelismBudget::current(), 2);
+      }
+      EXPECT_EQ(ParallelismBudget::current(), 1);
+    }
+    EXPECT_EQ(ParallelismBudget::current(), 4);
+  }
+  EXPECT_EQ(ParallelismBudget::current(), ambient);
+}
+
+TEST(GemmKernelTest, BudgetScopesAreThreadLocal) {
+  ParallelismBudget outer(6);
+  int64_t seen_on_thread = -1;
+  std::thread probe([&] { seen_on_thread = ParallelismBudget::current(); });
+  probe.join();
+  // The spawned thread never saw this thread's scope.
+  EXPECT_NE(seen_on_thread, 6);
+  EXPECT_EQ(ParallelismBudget::current(), 6);
+}
+
+TEST(GemmKernelTest, ConcurrentDispatchStress) {
+  // Several threads dispatch sharded GEMMs on the shared slab pool at once —
+  // the per-dispatch latch must keep them independent, and every result must
+  // still match the serial reference bitwise.  Meaningful under tsan.
+  util::Rng rng(1234);
+  const int64_t m = 96, k = 64, n = 48;  // above the flop threshold
+  const std::vector<float> a = RandomVec(m * k, &rng);
+  const std::vector<float> b = RandomVec(k * n, &rng);
+  const std::vector<float> a_tn = Transposed(a, m, k);  // [k, m]
+  std::vector<float> want(static_cast<size_t>(m * n));
+  {
+    ParallelismBudget one(1);
+    kernel::GemmNN(a.data(), b.data(), want.data(), m, k, n);
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ParallelismBudget scoped(3);
+      std::vector<float> got(static_cast<size_t>(m * n));
+      for (int it = 0; it < kIters; ++it) {
+        if (it % 2 == 0) {
+          kernel::GemmNN(a.data(), b.data(), got.data(), m, k, n);
+        } else {
+          // TN on aᵀ reproduces the same product, and the kernel contract
+          // says the same bits.
+          kernel::GemmTN(a_tn.data(), b.data(), got.data(), m, k, n);
+        }
+        if (std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(float)) != 0) {
+          ++failures[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[static_cast<size_t>(t)], 0);
+}
+
+}  // namespace
+}  // namespace fewner::tensor

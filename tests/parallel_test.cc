@@ -23,6 +23,7 @@
 #include "meta/reptile.h"
 #include "meta/snail.h"
 #include "tensor/autodiff.h"
+#include "tensor/intraop.h"
 #include "tensor/ops.h"
 #include "text/bio.h"
 #include "util/thread_pool.h"
@@ -344,6 +345,26 @@ TEST_F(ParallelTest, ResolveThreadCountHonorsRequestAndEnvironment) {
   setenv("FEWNER_THREADS", "not-a-number", 1);
   EXPECT_EQ(ParallelMetaBatch::ResolveThreadCount(0), 1);
   unsetenv("FEWNER_THREADS");
+}
+
+TEST_F(ParallelTest, TrainingBitwiseInvariantUnderAmbientIntraOpBudget) {
+  // Nesting contract (tensor/intraop.h): pooled episode workers pin their
+  // GEMMs to a serial intra-op budget, and whatever ambient budget surrounds
+  // Train() must never change trained parameters.  Serial trainer under
+  // budgets 1 and 4, and a 2-worker trainer nested under an ambient budget of
+  // 4, must all land on bit-identical floats.  Under -DFEWNER_SANITIZE=thread
+  // this also exercises episode workers coexisting with the intra-op slab
+  // pool in one process.
+  auto run = [&](int64_t workers, int64_t intraop) {
+    tensor::ParallelismBudget budget(intraop);
+    util::Rng rng(1);
+    Fewner method(config_, &rng);
+    method.Train(*sampler_, *encoder_, WithThreads(workers));
+    return nn::SnapshotParameterValues(method.backbone());
+  };
+  const std::vector<std::vector<float>> reference = run(1, 1);
+  EXPECT_EQ(reference, run(1, 4)) << "serial trainer under ambient budget 4";
+  EXPECT_EQ(reference, run(2, 4)) << "2 workers nested under ambient budget 4";
 }
 
 TEST_F(ParallelTest, MoreWorkersThanTasksIsSafe) {
